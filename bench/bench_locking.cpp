@@ -1,0 +1,142 @@
+// E7 — lock_concurrency: the paper's compatibility table vs coarser
+// alternatives (claim C6).
+//
+// A collaborative-editing mix (readers + writers over a 3-level course
+// tree) replays against three lock designs:
+//   paper-table    — HierarchyLockManager (read container => components
+//                    readable, parents fully accessible);
+//   tree-exclusive — any access takes an exclusive lock on the whole tree;
+//   tree-rwlock    — readers share the whole tree, any writer excludes all.
+// Metrics: operations granted first try (grant rate) and wall-clock
+// throughput. Paper shape: the table grants strictly more concurrency than
+// both baselines, and the gap widens as the write fraction falls.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "locking/hierarchy_lock.hpp"
+#include "workload/patterns.hpp"
+
+using namespace wdoc;
+using namespace wdoc::locking;
+
+namespace {
+
+// Builds script -> 4 implementations -> 4 files each; returns leaf ids.
+std::vector<LockResourceId> build_tree(HierarchyLockManager& mgr) {
+  std::uint64_t next = 1;
+  LockResourceId root{next++};
+  mgr.add_node(root, std::nullopt).expect("root");
+  std::vector<LockResourceId> leaves;
+  for (int i = 0; i < 4; ++i) {
+    LockResourceId impl{next++};
+    mgr.add_node(impl, root).expect("impl");
+    for (int f = 0; f < 4; ++f) {
+      LockResourceId file{next++};
+      mgr.add_node(file, impl).expect("file");
+      leaves.push_back(file);
+    }
+  }
+  return leaves;
+}
+
+enum class Design { paper_table, tree_exclusive, tree_rwlock };
+
+const char* design_name(Design d) {
+  switch (d) {
+    case Design::paper_table: return "paper-table";
+    case Design::tree_exclusive: return "tree-exclusive";
+    case Design::tree_rwlock: return "tree-rwlock";
+  }
+  return "?";
+}
+
+// Replays the op stream; each op tries to lock, and on success immediately
+// unlocks (think: short edit). Returns the first-try grant rate.
+double replay(Design design, const std::vector<workload::EditOp>& ops) {
+  HierarchyLockManager mgr;
+  std::vector<LockResourceId> leaves = build_tree(mgr);
+  LockResourceId root{1};
+
+  // Holders simulate K concurrent sessions: every 8th op holds its lock
+  // until 8 ops later, creating contention windows.
+  struct Held {
+    UserId user;
+    LockResourceId node;
+  };
+  std::vector<Held> held;
+  std::size_t granted = 0;
+
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    // Release the oldest held lock every 8 ops.
+    if (i % 8 == 0 && !held.empty()) {
+      (void)mgr.unlock(held.front().user, held.front().node);  // may be re-entrant dup
+      held.erase(held.begin());
+    }
+    const workload::EditOp& op = ops[i];
+    LockResourceId target = root;
+    Access mode = Access::read;
+    switch (design) {
+      case Design::paper_table:
+        target = leaves[op.node_index % leaves.size()];
+        mode = op.write ? Access::write : Access::read;
+        break;
+      case Design::tree_exclusive:
+        target = root;
+        mode = Access::write;  // everything is exclusive on the root
+        break;
+      case Design::tree_rwlock:
+        target = root;
+        mode = op.write ? Access::write : Access::read;
+        break;
+    }
+    if (mgr.lock(op.user, target, mode).is_ok()) {
+      ++granted;
+      if (i % 8 == 3) {
+        held.push_back(Held{op.user, target});  // hold a while
+      } else {
+        (void)mgr.unlock(op.user, target);
+      }
+    }
+  }
+  return static_cast<double>(granted) / static_cast<double>(ops.size());
+}
+
+void BM_LockReplay(benchmark::State& state) {
+  auto design = static_cast<Design>(state.range(0));
+  double write_fraction = static_cast<double>(state.range(1)) / 100.0;
+  auto ops = workload::editing_workload(6, 16, 4096, write_fraction, 7);
+  double rate = 0;
+  for (auto _ : state) {
+    rate = replay(design, ops);
+    benchmark::DoNotOptimize(rate);
+  }
+  state.counters["grant_rate"] = rate;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * ops.size()));
+  state.SetLabel(design_name(design));
+}
+BENCHMARK(BM_LockReplay)
+    ->ArgsProduct({{0, 1, 2}, {5, 25, 50}})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E7: paper lock table vs coarse locking ===\n");
+  std::printf("6 instructors, 16 leaf objects, 4096 ops; first-try grant rate\n\n");
+  std::printf("%16s %12s %12s %12s\n", "write fraction", "paper-table",
+              "tree-excl", "tree-rwlock");
+  for (int pct : {5, 10, 25, 50, 75}) {
+    auto ops = workload::editing_workload(6, 16, 4096,
+                                          static_cast<double>(pct) / 100.0, 7);
+    std::printf("%15d%% %12.3f %12.3f %12.3f\n", pct,
+                replay(Design::paper_table, ops), replay(Design::tree_exclusive, ops),
+                replay(Design::tree_rwlock, ops));
+  }
+  std::printf("\nshape check: the paper's table dominates at every mix; the gap\n"
+              "vs tree-rwlock widens as writes rise (disjoint-subtree writers\n"
+              "coexist under the table but serialize under a tree rwlock).\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// E6 — instance_migration: "duplicated document instances live only within
+// a duration of time. After a lecture is presented, duplicated document
+// instances migrate to document references. Essentially, buffer spaces are
+// used only." (claim C5)
+//
+// A semester of 6 weekly lectures is broadcast to 27 stations. Two
+// policies: with post-lecture migration (paper) and without (copies
+// accumulate). Metric: peak and end-of-semester disk per student station.
+// Paper shape: with migration, disk returns to ~0 after each lecture; the
+// instructor's persistent instances are untouched.
+#include <cstdio>
+
+#include "sim_cluster.hpp"
+
+using namespace wdoc;
+using namespace wdoc::bench;
+
+namespace {
+
+struct SemesterResult {
+  double peak_mb = 0;
+  double end_mb = 0;
+  double instructor_mb = 0;
+};
+
+SemesterResult run_semester(bool migrate) {
+  const std::size_t kStations = 27;
+  const std::size_t kLectures = 6;
+  SimCluster cluster(kStations, 3, kCampusLink);
+  SemesterResult out;
+
+  for (std::size_t week = 0; week < kLectures; ++week) {
+    auto doc = make_lecture("http://mmu.edu/week" + std::to_string(week), 10 << 20,
+                            cluster.id(0));
+    cluster.node(0).broadcast_push(doc).expect("push");
+    cluster.net().run();
+
+    // Peak disk while the lecture is live.
+    double live = 0;
+    for (std::size_t i = 1; i < kStations; ++i) {
+      live = std::max(live, static_cast<double>(cluster.store(i).disk_bytes()) / 1e6);
+    }
+    out.peak_mb = std::max(out.peak_mb, live);
+
+    if (migrate) {
+      for (std::size_t i = 1; i < kStations; ++i) {
+        (void)cluster.node(i).end_lecture();
+      }
+    }
+  }
+
+  double end = 0;
+  for (std::size_t i = 1; i < kStations; ++i) {
+    end = std::max(end, static_cast<double>(cluster.store(i).disk_bytes()) / 1e6);
+  }
+  out.end_mb = end;
+  out.instructor_mb = static_cast<double>(cluster.store(0).disk_bytes()) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E6: post-lecture migration of duplicated instances ===\n");
+  std::printf("6 weekly 10 MB lectures to 26 students (m=3)\n\n");
+  std::printf("%-22s %14s %18s %18s\n", "policy", "peak disk(MB)",
+              "end-of-term(MB)", "instructor(MB)");
+
+  SemesterResult with = run_semester(true);
+  SemesterResult without = run_semester(false);
+  std::printf("%-22s %14.1f %18.1f %18.1f\n", "migrate-to-reference", with.peak_mb,
+              with.end_mb, with.instructor_mb);
+  std::printf("%-22s %14.1f %18.1f %18.1f\n", "keep-copies", without.peak_mb,
+              without.end_mb, without.instructor_mb);
+
+  std::printf("\nper-week trace (migrate-to-reference), student station 14:\n");
+  {
+    const std::size_t kStations = 27;
+    SimCluster cluster(kStations, 3, kCampusLink);
+    for (std::size_t week = 0; week < 6; ++week) {
+      auto doc = make_lecture("http://mmu.edu/week" + std::to_string(week),
+                              10 << 20, cluster.id(0));
+      cluster.node(0).broadcast_push(doc).expect("push");
+      cluster.net().run();
+      double during = static_cast<double>(cluster.store(14).disk_bytes()) / 1e6;
+      (void)cluster.node(14).end_lecture();
+      double after = static_cast<double>(cluster.store(14).disk_bytes()) / 1e6;
+      std::printf("  week %zu: %6.1f MB during lecture -> %6.1f MB after "
+                  "migration (%zu reference(s) kept)\n",
+                  week + 1, during, after, cluster.store(14).doc_count());
+      for (std::size_t i = 1; i < kStations; ++i) {
+        if (i != 14) (void)cluster.node(i).end_lecture();
+      }
+    }
+  }
+  std::printf("\nshape check: migration keeps students at reference-only disk\n"
+              "between lectures; keep-copies accumulates ~10 MB per week.\n");
+  return 0;
+}

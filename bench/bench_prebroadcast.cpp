@@ -1,0 +1,130 @@
+// E3 — prebroadcast_vs_ondemand: real-time demonstration feasibility
+// (claim C1).
+//
+// A lecture is a timed schedule of BLOBs (playout deadlines every 2
+// simulated minutes). Three strategies per student station:
+//   push       — the instructor pre-broadcasts everything before class;
+//   on-demand  — each BLOB is fetched from the instructor at its deadline;
+//   prefetch-1 — on-demand with one-BLOB lookahead.
+// Metrics: startup latency, stall count, total stall time. Paper shape:
+// pre-broadcast plays stall-free where on-demand stalls on every large
+// clip, because a 10 Mb/s link needs ~8.4 s per 10 MB BLOB.
+#include <cstdio>
+
+#include "sim_cluster.hpp"
+
+using namespace wdoc;
+using namespace wdoc::bench;
+
+namespace {
+
+struct PlaybackResult {
+  double startup_s = 0;     // delay before the first item can play
+  int stalls = 0;           // deadlines missed
+  double stall_time_s = 0;  // total time spent waiting past deadlines
+};
+
+// Plays the manifest at `student`, fetching each blob from the instructor
+// when `lookahead` items before its deadline (SIZE_MAX = everything was
+// preloaded by a broadcast).
+PlaybackResult play_on_demand(SimCluster& cluster, const dist::DocManifest& doc,
+                              std::size_t student, std::size_t lookahead) {
+  PlaybackResult out;
+  auto& net = cluster.net();
+  SimTime class_start = net.now();
+  // Arrival time per blob index.
+  std::vector<SimTime> arrival(doc.blobs.size(), SimTime::zero());
+  std::vector<bool> arrived(doc.blobs.size(), false);
+
+  // Issue the fetch for blob i at (deadline of i - lookahead items)'s time;
+  // lookahead 0 = fetch exactly at the deadline.
+  for (std::size_t i = 0; i < doc.blobs.size(); ++i) {
+    std::size_t issue_at_item = i >= lookahead ? i - lookahead : 0;
+    SimTime issue_time =
+        class_start + SimTime::millis(doc.blobs[issue_at_item].playout_ms.value_or(0));
+    net.schedule_at(issue_time, [&, i] {
+      cluster.node(student)
+          .fetch_blob(cluster.id(0), doc.doc_key, doc.blobs[i],
+                      [&, i](Status s, SimTime at) {
+                        if (s.is_ok()) {
+                          arrival[i] = at;
+                          arrived[i] = true;
+                        }
+                      })
+          .expect("fetch_blob");
+    });
+  }
+  net.run();
+
+  // Score against deadlines.
+  for (std::size_t i = 0; i < doc.blobs.size(); ++i) {
+    SimTime deadline = class_start + SimTime::millis(doc.blobs[i].playout_ms.value_or(0));
+    if (!arrived[i]) {
+      out.stalls++;
+      continue;
+    }
+    if (i == 0) out.startup_s = (arrival[0] - class_start).as_seconds();
+    if (arrival[i] > deadline) {
+      out.stalls++;
+      out.stall_time_s += (arrival[i] - deadline).as_seconds();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== E3: pre-broadcast vs on-demand lecture playback ===\n");
+  std::printf("lecture: 15 BLOBs, deadline every 120 s; 10 Mb/s links\n\n");
+
+  for (std::uint64_t blob_mb : {2ull, 10ull, 25ull}) {
+    std::printf("BLOB size %llu MB (total %llu MB)\n",
+                static_cast<unsigned long long>(blob_mb),
+                static_cast<unsigned long long>(blob_mb * 15));
+    std::printf("  %-22s %12s %8s %14s\n", "strategy", "startup(s)", "stalls",
+                "stall time(s)");
+
+    const std::size_t kStudent = 5;
+
+    // Strategy 1: pre-broadcast. Everything is local before class starts.
+    {
+      SimCluster cluster(8, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", (blob_mb * 15) << 20, cluster.id(0), 15);
+      cluster.node(0).broadcast_push(doc).expect("push");
+      cluster.net().run();
+      double preload_s = cluster.net().now().as_seconds();
+      bool local = cluster.store(kStudent).has_materialized(doc.doc_key);
+      // All deadlines met from the local copy: zero stalls by construction;
+      // report the preload cost as context.
+      std::printf("  %-22s %12.2f %8d %14.2f   (preload took %.1f s before class)\n",
+                  "pre-broadcast", 0.0, local ? 0 : 15, 0.0, preload_s);
+    }
+
+    // Strategy 2: pure on-demand at each deadline.
+    {
+      SimCluster cluster(8, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", (blob_mb * 15) << 20, cluster.id(0), 15);
+      cluster.store(0).put_instance(doc, false).expect("seed instructor");
+      PlaybackResult r = play_on_demand(cluster, doc, kStudent, 0);
+      std::printf("  %-22s %12.2f %8d %14.2f\n", "on-demand", r.startup_s, r.stalls,
+                  r.stall_time_s);
+    }
+
+    // Strategy 3: on-demand with one-item lookahead.
+    {
+      SimCluster cluster(8, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", (blob_mb * 15) << 20, cluster.id(0), 15);
+      cluster.store(0).put_instance(doc, false).expect("seed instructor");
+      PlaybackResult r = play_on_demand(cluster, doc, kStudent, 1);
+      std::printf("  %-22s %12.2f %8d %14.2f\n", "on-demand+prefetch1", r.startup_s,
+                  r.stalls, r.stall_time_s);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("shape check: a 10 Mb/s link moves 10 MB in ~8.4 s, so on-demand\n"
+              "startup grows with BLOB size while pre-broadcast stays stall-free;\n"
+              "lookahead hides one transfer but not a bandwidth deficit.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// E1 — tree_placement: the paper's two placement equations (§4).
+//
+// Regenerates: (a) an exhaustive check that parent() inverts child() for
+// every N <= 4096 and m in {1..8} (the paper claims the equations "are
+// proved by mathematical induction ... also implemented in our system");
+// (b) the depth/fan-out table that drives the choice of m; (c) wall-clock
+// microbenchmarks of the placement functions via google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "dist/mtree.hpp"
+
+namespace {
+
+using namespace wdoc::dist;
+
+void verify_inverse() {
+  std::uint64_t checks = 0;
+  for (std::uint64_t m = 1; m <= 8; ++m) {
+    for (std::uint64_t n = 1; n <= 4096; ++n) {
+      for (std::uint64_t i = 1; i <= m; ++i) {
+        std::uint64_t c = child_position(n, i, m);
+        if (parent_position(c, m) != n) {
+          std::printf("INVERSE VIOLATION: m=%llu n=%llu i=%llu\n",
+                      static_cast<unsigned long long>(m),
+                      static_cast<unsigned long long>(n),
+                      static_cast<unsigned long long>(i));
+          std::exit(1);
+        }
+        ++checks;
+      }
+    }
+  }
+  std::printf("inverse property verified for %llu (n,i,m) triples\n",
+              static_cast<unsigned long long>(checks));
+}
+
+void print_depth_table() {
+  std::printf("\nE1b: tree depth by station count and fan-out m\n");
+  std::printf("%8s", "N \\ m");
+  for (std::uint64_t m = 2; m <= 8; ++m) std::printf("%6llu", (unsigned long long)m);
+  std::printf("\n");
+  for (std::uint64_t n : {15ull, 63ull, 255ull, 1023ull, 4095ull}) {
+    std::printf("%8llu", (unsigned long long)n);
+    for (std::uint64_t m = 2; m <= 8; ++m) {
+      std::printf("%6llu", (unsigned long long)tree_depth(n, m));
+    }
+    std::printf("\n");
+  }
+}
+
+void print_level_population() {
+  std::printf("\nE1c: breadth-first level population, m=3, N=40\n");
+  const std::uint64_t N = 40, m = 3;
+  std::uint64_t depth = tree_depth(N, m);
+  for (std::uint64_t d = 0; d <= depth; ++d) {
+    std::printf("  level %llu:", (unsigned long long)d);
+    for (std::uint64_t k = 1; k <= N; ++k) {
+      if (depth_of(k, m) == d) std::printf(" %llu", (unsigned long long)k);
+    }
+    std::printf("\n");
+  }
+}
+
+void BM_ChildPosition(benchmark::State& state) {
+  std::uint64_t n = 1;
+  for (auto _ : state) {
+    n = child_position(n % 100000 + 1, 2, 3);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_ChildPosition);
+
+void BM_ParentPosition(benchmark::State& state) {
+  std::uint64_t k = 2;
+  for (auto _ : state) {
+    k = parent_position(k, 3) + 100;  // keep k >= 2
+    benchmark::DoNotOptimize(k);
+  }
+}
+BENCHMARK(BM_ParentPosition);
+
+void BM_Ancestry(benchmark::State& state) {
+  for (auto _ : state) {
+    auto chain = ancestry(static_cast<std::uint64_t>(state.range(0)), 3);
+    benchmark::DoNotOptimize(chain);
+  }
+}
+BENCHMARK(BM_Ancestry)->Arg(100)->Arg(10000)->Arg(1000000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== E1: m-ary tree placement equations (paper section 4) ===\n");
+  verify_inverse();
+  print_depth_table();
+  print_level_population();
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

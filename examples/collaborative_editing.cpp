@@ -1,0 +1,140 @@
+// Collaborative editing under the paper's lock compatibility table — run
+// live on real threads (ThreadTransport), not the simulator.
+//
+// Three instructor threads work on the same course: two edit disjoint
+// implementations concurrently (allowed: disjoint subtrees), one keeps
+// reading the whole script container (allowed against readers, refused
+// against an active writer's subtree). Conflicts are retried. Messages
+// between stations announce check-ins, demonstrating that the same
+// protocol Message type runs off the simulator.
+//
+// Build & run:  ./build/examples/collaborative_editing
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "core/sessions.hpp"
+#include "net/thread_transport.hpp"
+
+using namespace wdoc;
+
+int main() {
+  auto db = core::WebDocDb::create().expect("create database");
+  auto& repo = db->repository();
+
+  // One script with two implementations -> a lockable tree.
+  docmodel::ScriptInfo script;
+  script.name = "intro-md";
+  script.author = "shih";
+  script.keywords = "multimedia databases";
+  script.description = "Multimedia database design course.";
+  repo.create_script(script).expect("script");
+  for (int i = 1; i <= 2; ++i) {
+    docmodel::ImplementationInfo impl;
+    impl.starting_url = "http://mmu.edu/MD/impl" + std::to_string(i);
+    impl.script_name = "intro-md";
+    impl.try_number = i;
+    repo.create_implementation(impl).expect("impl");
+    docmodel::HtmlFileInfo page;
+    page.path = impl.starting_url + "/index.html";
+    page.starting_url = impl.starting_url;
+    repo.add_html_file(page).expect("page");
+  }
+  db->register_lock_tree("intro-md").expect("lock tree");
+  auto impl1 = *db->lock_node_of("implementation:http://mmu.edu/MD/impl1");
+  auto impl2 = *db->lock_node_of("implementation:http://mmu.edu/MD/impl2");
+  auto root = *db->lock_node_of("script:intro-md");
+  auto& locks = db->locks();
+
+  // Live transport: one station per instructor, broadcasting check-ins.
+  net::ThreadTransport transport;
+  std::atomic<int> notices{0};
+  std::vector<StationId> stations;
+  for (int i = 0; i < 3; ++i) {
+    stations.push_back(transport.add_station([&](const net::Message& msg) {
+      notices++;
+      std::printf("  [station] %s from station %llu\n", msg.type.c_str(),
+                  static_cast<unsigned long long>(msg.from.value()));
+    }));
+  }
+  auto announce = [&](int self, const char* what) {
+    for (std::size_t peer = 0; peer < stations.size(); ++peer) {
+      if (static_cast<int>(peer) == self) continue;
+      net::Message msg;
+      msg.from = stations[static_cast<std::size_t>(self)];
+      msg.to = stations[peer];
+      msg.type = what;
+      transport.send(std::move(msg)).expect("announce");
+    }
+  };
+
+  std::mutex lock_mu;  // the lock manager itself is station-local state
+  std::atomic<int> edits_done{0};
+  std::atomic<int> conflicts{0};
+
+  auto writer_thread = [&](int self, UserId user, LockResourceId target,
+                           const char* label) {
+    for (int edit = 0; edit < 5; ++edit) {
+      for (;;) {
+        {
+          std::lock_guard<std::mutex> g(lock_mu);
+          if (locks.lock(user, target, locking::Access::write).is_ok()) break;
+        }
+        conflicts++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // "Edit" the implementation while holding the write lock.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      {
+        std::lock_guard<std::mutex> g(lock_mu);
+        locks.unlock(user, target).expect("unlock");
+      }
+      edits_done++;
+      announce(self, (std::string("checkin.") + label).c_str());
+    }
+  };
+
+  auto reader_thread = [&](UserId user) {
+    // Bounded read attempts: while the reader holds the script container's
+    // read lock, writers inside are refused (the paper's table), so an
+    // eager reader could starve them on one core. 25 polite reads with
+    // back-off demonstrate coexistence without hogging the container.
+    int reads = 0;
+    for (int attempt = 0; attempt < 25 && edits_done.load() < 10; ++attempt) {
+      bool got = false;
+      {
+        std::lock_guard<std::mutex> g(lock_mu);
+        got = locks.lock(user, root, locking::Access::read).is_ok();
+      }
+      if (got) {
+        ++reads;
+        {
+          std::lock_guard<std::mutex> g(lock_mu);
+          locks.unlock(user, root).expect("unlock read");
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      } else {
+        conflicts++;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    std::printf("reader completed %d whole-script reads\n", reads);
+  };
+
+  std::printf("three instructors collaborating on 'intro-md'...\n");
+  std::thread t1(writer_thread, 0, UserId{1}, impl1, "impl1");
+  std::thread t2(writer_thread, 1, UserId{2}, impl2, "impl2");
+  std::thread t3(reader_thread, UserId{3});
+  t1.join();
+  t2.join();
+  t3.join();
+  (void)transport.quiesce();
+  transport.shutdown();
+
+  std::printf("done: %d edits committed, %d lock conflicts retried, "
+              "%d check-in notices delivered\n",
+              edits_done.load(), conflicts.load(), notices.load());
+  std::printf("paper's table allowed disjoint-implementation writers to run "
+              "in parallel while the reader shared the container.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// SQL shell — the "open database connection" surface of the paper's
+// three-tier architecture, as a command-line tool.
+//
+// Usage:
+//   ./build/examples/sql_shell                  # runs the built-in demo
+//   ./build/examples/sql_shell 'SELECT 1 FROM t' ...   # execute arguments
+//   echo 'SELECT * FROM wd_script;' | ./build/examples/sql_shell -
+//
+// The demo installs the paper's eleven-table schema, loads a small course
+// corpus, and walks through DDL/DML/aggregate queries.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "docmodel/schema_defs.hpp"
+#include "storage/sql.hpp"
+#include "workload/corpus.hpp"
+
+using namespace wdoc;
+
+namespace {
+
+void run(storage::sql::Engine& engine, const std::string& stmt, bool echo = true) {
+  if (echo) std::printf("wdoc> %s\n", stmt.c_str());
+  auto result = engine.execute(stmt);
+  if (!result) {
+    std::printf("error: %s\n\n", result.error().to_string().c_str());
+    return;
+  }
+  std::printf("%s\n", result.value().to_string().c_str());
+}
+
+void demo(storage::Database& db, storage::sql::Engine& engine) {
+  // Load a small corpus into the paper's schema so SELECTs have substance.
+  blob::BlobStore blobs;
+  docmodel::Repository repo(db, blobs);
+  workload::CorpusConfig cfg;
+  cfg.courses = 8;
+  cfg.impls_per_course = 2;
+  cfg.seed = 1999;
+  workload::generate_corpus(repo, cfg).expect("corpus");
+
+  std::printf("-- the paper's document layer, via SQL --\n\n");
+  run(engine, "SELECT name, author, pct_complete FROM wd_script "
+              "ORDER BY name LIMIT 4");
+  run(engine, "SELECT COUNT(*) FROM wd_implementation");
+  run(engine, "SELECT author, COUNT(*) FROM wd_script GROUP BY author "
+              "ORDER BY count DESC");
+  run(engine, "SELECT script_name, COUNT(*) FROM wd_implementation "
+              "GROUP BY script_name ORDER BY script_name LIMIT 3");
+  run(engine, "SELECT owner_name, SUM(size) FROM wd_resource "
+              "GROUP BY owner_name ORDER BY sum_size DESC LIMIT 3");
+
+  std::printf("-- ad-hoc tables work too --\n\n");
+  run(engine, "CREATE TABLE grades (student TEXT INDEXED, course TEXT, "
+              "score REAL)");
+  run(engine, "INSERT INTO grades VALUES ('alice', 'CS100', 91.5)");
+  run(engine, "INSERT INTO grades VALUES ('alice', 'CS101', 78.0)");
+  run(engine, "INSERT INTO grades VALUES ('bob', 'CS100', 66.0)");
+  run(engine, "SELECT student, AVG(score) FROM grades GROUP BY student");
+  run(engine, "UPDATE grades SET score = 70.0 WHERE student = 'bob'");
+  run(engine, "SELECT * FROM grades WHERE score >= 70.0 ORDER BY score DESC");
+  run(engine, "DELETE FROM grades WHERE student = 'bob'");
+  run(engine, "SELECT COUNT(*) FROM grades");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto db = storage::Database::in_memory();
+  docmodel::install_schemas(*db).expect("schemas");
+  storage::sql::Engine engine(*db);
+
+  if (argc > 1 && std::string(argv[1]) == "-") {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) run(engine, line, /*echo=*/true);
+    }
+    return 0;
+  }
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) run(engine, argv[i]);
+    return 0;
+  }
+  demo(*db, engine);
+  return 0;
+}

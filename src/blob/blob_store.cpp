@@ -1,0 +1,205 @@
+#include "blob/blob_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+namespace wdoc::blob {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+Status write_file(const std::string& path, const Bytes& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return {Errc::io_error, "cannot write blob: " + path};
+  bool ok = data.empty() || std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) return {Errc::io_error, "blob write failed: " + path};
+  return Status::ok();
+}
+
+Result<Bytes> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Error{Errc::io_error, "cannot read blob: " + path};
+  Bytes out;
+  std::uint8_t chunk[65536];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    out.insert(out.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+MediaType guess_media_type(std::uint64_t size) {
+  // Reopened blob files carry no media tag; classify by size band so disk
+  // accounting by type stays plausible. Owners that care re-attach the type.
+  if (size >= (4ull << 20)) return MediaType::video;
+  if (size >= (1ull << 20)) return MediaType::audio;
+  if (size >= (64ull << 10)) return MediaType::image;
+  return MediaType::other;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<BlobStore>> BlobStore::open(const std::string& dir,
+                                                   std::uint64_t capacity_bytes) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Error{Errc::io_error, "cannot create blob dir: " + dir};
+
+  auto store = std::make_unique<BlobStore>(capacity_bytes);
+  store->dir_ = dir;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.size() != 37 || name.substr(32) != ".blob") continue;
+    auto digest = Digest128::from_hex(name.substr(0, 32));
+    if (!digest) continue;
+    Entry e;
+    e.info.id = store->ids_.next();
+    e.info.digest = *digest;
+    e.info.size = entry.file_size();
+    e.info.type = guess_media_type(e.info.size);
+    e.info.refs = 0;  // owners re-reference during their recovery
+    e.info.resident = true;
+    e.on_disk = true;
+    e.loaded = false;
+    store->stored_bytes_ += e.info.size;
+    store->by_digest_.emplace(e.info.digest, e.info.id);
+    store->blobs_.emplace(e.info.id.value(), std::move(e));
+  }
+  return store;
+}
+
+std::string BlobStore::blob_path(const Digest128& digest) const {
+  return dir_ + "/" + digest.to_hex() + ".blob";
+}
+
+void BlobStore::remove_entry_files(const Entry& e) {
+  if (e.on_disk && !dir_.empty()) {
+    std::error_code ec;
+    fs::remove(blob_path(e.info.digest), ec);
+  }
+}
+
+Result<BlobId> BlobStore::put(Bytes data, MediaType type) {
+  Digest128 digest = digest128(std::span<const std::uint8_t>(data));
+  // Size captured before the move: parameter evaluation order is unspecified.
+  const std::uint64_t size = data.size();
+  return put_entry(digest, size, type, std::move(data), /*resident=*/true);
+}
+
+Result<BlobId> BlobStore::put_synthetic(const Digest128& digest, std::uint64_t size,
+                                        MediaType type) {
+  return put_entry(digest, size, type, {}, /*resident=*/false);
+}
+
+Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
+                                    MediaType type, Bytes data, bool resident) {
+  if (auto it = by_digest_.find(digest); it != by_digest_.end()) {
+    Entry& e = blobs_.at(it->second.value());
+    ++e.info.refs;
+    logical_bytes_ += e.info.size;
+    // A synthetic entry upgraded with real bytes becomes resident.
+    if (resident && !e.info.resident) {
+      e.data = std::move(data);
+      e.info.resident = true;
+      e.loaded = true;
+      if (!dir_.empty()) {
+        WDOC_TRY(write_file(blob_path(digest), e.data));
+        e.on_disk = true;
+      }
+    }
+    return e.info.id;
+  }
+  if (capacity_ != kUnlimited && stored_bytes_ + size > capacity_) {
+    return Error{Errc::out_of_space,
+                 "blob store full: " + std::to_string(stored_bytes_) + " + " +
+                     std::to_string(size) + " > " + std::to_string(capacity_)};
+  }
+  BlobId id = ids_.next();
+  Entry e;
+  e.info = BlobInfo{id, digest, type, size, 1, resident};
+  if (resident && !dir_.empty()) {
+    WDOC_TRY(write_file(blob_path(digest), data));
+    e.on_disk = true;
+  }
+  e.data = std::move(data);
+  e.loaded = resident;
+  stored_bytes_ += size;
+  logical_bytes_ += size;
+  by_digest_.emplace(digest, id);
+  blobs_.emplace(id.value(), std::move(e));
+  return id;
+}
+
+Status BlobStore::add_ref(BlobId id) {
+  auto it = blobs_.find(id.value());
+  if (it == blobs_.end()) return {Errc::not_found, "no blob " + std::to_string(id.value())};
+  ++it->second.info.refs;
+  logical_bytes_ += it->second.info.size;
+  return Status::ok();
+}
+
+Status BlobStore::release(BlobId id, bool evict_now) {
+  auto it = blobs_.find(id.value());
+  if (it == blobs_.end()) return {Errc::not_found, "no blob " + std::to_string(id.value())};
+  BlobInfo& info = it->second.info;
+  if (info.refs == 0) return {Errc::conflict, "release of zero-ref blob"};
+  --info.refs;
+  logical_bytes_ -= info.size;
+  if (info.refs == 0 && evict_now) {
+    stored_bytes_ -= info.size;
+    remove_entry_files(it->second);
+    by_digest_.erase(info.digest);
+    blobs_.erase(it);
+  }
+  return Status::ok();
+}
+
+Result<std::span<const std::uint8_t>> BlobStore::get(BlobId id) {
+  auto it = blobs_.find(id.value());
+  if (it == blobs_.end()) return Error{Errc::not_found, "no blob " + std::to_string(id.value())};
+  Entry& e = it->second;
+  if (!e.info.resident) {
+    return Error{Errc::unavailable, "synthetic blob has no payload"};
+  }
+  if (!e.loaded) {
+    auto data = read_file(blob_path(e.info.digest));
+    if (!data) return data.error();
+    e.data = std::move(data).value();
+    e.loaded = true;
+  }
+  return std::span<const std::uint8_t>(e.data);
+}
+
+const BlobInfo* BlobStore::info(BlobId id) const {
+  auto it = blobs_.find(id.value());
+  return it == blobs_.end() ? nullptr : &it->second.info;
+}
+
+std::optional<BlobId> BlobStore::find(const Digest128& digest) const {
+  auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::uint64_t BlobStore::gc() {
+  std::uint64_t reclaimed = 0;
+  for (auto it = blobs_.begin(); it != blobs_.end();) {
+    if (it->second.info.refs == 0) {
+      reclaimed += it->second.info.size;
+      stored_bytes_ -= it->second.info.size;
+      remove_entry_files(it->second);
+      by_digest_.erase(it->second.info.digest);
+      it = blobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+}  // namespace wdoc::blob

@@ -1,0 +1,106 @@
+// Content-addressed, reference-counted BLOB store — the paper's BLOB layer.
+//
+// "Objects in this layer are shared by instances and classes" (§3): two
+// documents that put the same bytes get the same BlobId, and the store
+// accounts unique (stored) vs logical (sum of references) bytes, which is
+// exactly the quantity experiment E4 measures.
+//
+// Synthetic blobs carry a declared size but no payload, so a simulation can
+// model thousands of 10 MB videos without allocating them.
+//
+// Unreferenced blobs are kept until gc() — they model the paper's "buffer
+// spaces" that ephemeral lecture copies occupy until reclaimed (§4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blob/media.hpp"
+#include "common/hash.hpp"
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/serialize.hpp"
+
+namespace wdoc::blob {
+
+struct BlobInfo {
+  BlobId id;
+  Digest128 digest;
+  MediaType type = MediaType::other;
+  std::uint64_t size = 0;
+  std::uint32_t refs = 0;
+  bool resident = false;  // false for synthetic blobs (size-only)
+};
+
+class BlobStore {
+ public:
+  static constexpr std::uint64_t kUnlimited = ~0ull;
+
+  explicit BlobStore(std::uint64_t capacity_bytes = kUnlimited)
+      : capacity_(capacity_bytes) {}
+
+  // Disk-backed store: resident blob payloads are written to
+  // <dir>/<digest-hex>.blob and reloaded (lazily) on open. Existing blob
+  // files are indexed with zero references — owners re-reference them
+  // during their own recovery (see core::WebDocDb). Synthetic blobs are
+  // never persisted.
+  [[nodiscard]] static Result<std::unique_ptr<BlobStore>> open(
+      const std::string& dir, std::uint64_t capacity_bytes = kUnlimited);
+
+  // Stores (or dedups against) real bytes; the returned blob holds one
+  // reference for the caller.
+  [[nodiscard]] Result<BlobId> put(Bytes data, MediaType type);
+  // Size-only entry for simulations. Two puts of the same digest dedup.
+  [[nodiscard]] Result<BlobId> put_synthetic(const Digest128& digest, std::uint64_t size,
+                                             MediaType type);
+
+  [[nodiscard]] Status add_ref(BlobId id);
+  // Drops one reference. The blob's bytes stay resident (buffer space) until
+  // gc() unless `evict_now`.
+  [[nodiscard]] Status release(BlobId id, bool evict_now = false);
+
+  // Lazily faults disk-backed payloads into memory on first access.
+  [[nodiscard]] Result<std::span<const std::uint8_t>> get(BlobId id);
+  [[nodiscard]] const BlobInfo* info(BlobId id) const;
+  [[nodiscard]] std::optional<BlobId> find(const Digest128& digest) const;
+
+  // Frees every zero-reference blob; returns bytes reclaimed.
+  [[nodiscard]] std::uint64_t gc();
+
+  // --- accounting -------------------------------------------------------
+  // Unique bytes on disk.
+  [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
+  // What a copy-per-reference design would store: sum over blobs of
+  // refs * size.
+  [[nodiscard]] std::uint64_t logical_bytes() const { return logical_bytes_; }
+  [[nodiscard]] std::size_t blob_count() const { return blobs_.size(); }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    BlobInfo info;
+    Bytes data;           // empty for synthetic and not-yet-faulted blobs
+    bool on_disk = false; // payload exists at blob_path(digest)
+    bool loaded = false;  // data holds the payload
+  };
+
+  [[nodiscard]] Result<BlobId> put_entry(const Digest128& digest, std::uint64_t size,
+                                         MediaType type, Bytes data, bool resident);
+  [[nodiscard]] std::string blob_path(const Digest128& digest) const;
+  void remove_entry_files(const Entry& e);
+
+  std::unordered_map<std::uint64_t, Entry> blobs_;  // by id value
+  std::unordered_map<Digest128, BlobId> by_digest_;
+  IdAllocator<BlobId> ids_;
+  std::uint64_t capacity_;
+  std::uint64_t stored_bytes_ = 0;
+  std::uint64_t logical_bytes_ = 0;
+  std::string dir_;  // empty = memory-only
+};
+
+}  // namespace wdoc::blob

@@ -1,0 +1,72 @@
+// Media types of the paper's BLOB layer: "video, audio, still image,
+// animation, and MIDI files" (§3), plus the small document-layer file kinds.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wdoc::blob {
+
+enum class MediaType : std::uint8_t {
+  video = 0,
+  audio = 1,
+  image = 2,
+  animation = 3,
+  midi = 4,
+  html = 5,        // document-layer: HTML/XML implementation files
+  program = 6,     // document-layer: applet / ASP control programs
+  annotation = 7,  // document-layer: stored draw-op streams
+  other = 8,
+};
+
+inline constexpr std::size_t kMediaTypeCount = 9;
+
+[[nodiscard]] constexpr const char* media_type_name(MediaType t) {
+  switch (t) {
+    case MediaType::video: return "video";
+    case MediaType::audio: return "audio";
+    case MediaType::image: return "image";
+    case MediaType::animation: return "animation";
+    case MediaType::midi: return "midi";
+    case MediaType::html: return "html";
+    case MediaType::program: return "program";
+    case MediaType::annotation: return "annotation";
+    case MediaType::other: return "other";
+  }
+  return "?";
+}
+
+// True for the large continuous resources that live in the BLOB layer and
+// are shared/preloaded; false for the small structure files that are copied
+// when a document is duplicated (paper §3: "the duplication process involves
+// objects of relatively smaller sizes, such as HTML files").
+[[nodiscard]] constexpr bool is_blob_layer(MediaType t) {
+  switch (t) {
+    case MediaType::video:
+    case MediaType::audio:
+    case MediaType::image:
+    case MediaType::animation:
+    case MediaType::midi:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Representative 1999-era sizes, used by the workload generator.
+[[nodiscard]] constexpr std::uint64_t typical_media_bytes(MediaType t) {
+  switch (t) {
+    case MediaType::video: return 10ull << 20;      // ~10 MB clip
+    case MediaType::audio: return 2ull << 20;       // ~2 MB
+    case MediaType::image: return 150ull << 10;     // ~150 KB
+    case MediaType::animation: return 500ull << 10; // ~500 KB
+    case MediaType::midi: return 12ull << 10;       // ~12 KB
+    case MediaType::html: return 8ull << 10;        // ~8 KB
+    case MediaType::program: return 40ull << 10;    // ~40 KB
+    case MediaType::annotation: return 4ull << 10;  // ~4 KB
+    case MediaType::other: return 64ull << 10;
+  }
+  return 1024;
+}
+
+}  // namespace wdoc::blob

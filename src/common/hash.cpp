@@ -1,0 +1,59 @@
+#include "common/hash.hpp"
+
+#include <array>
+#include <cstdio>
+
+namespace wdoc {
+
+Digest128 digest128(std::span<const std::uint8_t> data) {
+  Digest128 d;
+  d.lo = fnv1a64(data);
+  // Second pass with a different basis, finished with a strong avalanche so
+  // the two words are effectively independent.
+  std::uint64_t h = fnv1a64(data, 0x9ae16a3b2f90404fULL);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  d.hi = h ^ (data.size() * 0x9e3779b97f4a7c15ULL);
+  return d;
+}
+
+Digest128 digest128(std::string_view s) {
+  return digest128(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+std::optional<Digest128> Digest128::from_hex(std::string_view hex) {
+  if (hex.size() != 32) return std::nullopt;
+  auto parse = [](std::string_view part) -> std::optional<std::uint64_t> {
+    std::uint64_t v = 0;
+    for (char c : part) {
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    return v;
+  };
+  auto hi = parse(hex.substr(0, 16));
+  auto lo = parse(hex.substr(16, 16));
+  if (!hi || !lo) return std::nullopt;
+  return Digest128{*lo, *hi};
+}
+
+std::string Digest128::to_hex() const {
+  std::array<char, 33> buf{};
+  std::snprintf(buf.data(), buf.size(), "%016llx%016llx",
+                static_cast<unsigned long long>(hi), static_cast<unsigned long long>(lo));
+  return std::string(buf.data(), 32);
+}
+
+}  // namespace wdoc

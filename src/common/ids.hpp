@@ -1,0 +1,94 @@
+// Strongly typed identifiers used across the wdoc libraries.
+//
+// Every subsystem keys its objects with a StrongId<Tag> so that a StationId
+// cannot be passed where a ScriptId is expected. Ids are 64-bit, value 0 is
+// reserved as "invalid".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace wdoc {
+
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::uint64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != 0; }
+
+  friend constexpr bool operator==(StrongId a, StrongId b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(StrongId a, StrongId b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(StrongId a, StrongId b) { return a.value_ < b.value_; }
+  friend constexpr bool operator>(StrongId a, StrongId b) { return a.value_ > b.value_; }
+  friend constexpr bool operator<=(StrongId a, StrongId b) { return a.value_ <= b.value_; }
+  friend constexpr bool operator>=(StrongId a, StrongId b) { return a.value_ >= b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) { return os << id.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// Monotonic id allocator for a given id type. Not thread safe; each owning
+// subsystem guards its own allocator.
+template <typename Id>
+class IdAllocator {
+ public:
+  Id next() { return Id{++last_}; }
+  void reserve_through(std::uint64_t v) {
+    if (v > last_) last_ = v;
+  }
+  [[nodiscard]] std::uint64_t last() const { return last_; }
+
+ private:
+  std::uint64_t last_ = 0;
+};
+
+// --- id tags ---------------------------------------------------------------
+
+struct DatabaseTag {};
+struct ScriptTag {};
+struct ImplementationTag {};
+struct TestRecordTag {};
+struct BugReportTag {};
+struct AnnotationTag {};
+struct BlobTag {};
+struct StationTag {};
+struct ObjectTag {};      // distribution-layer document object (class/instance/ref)
+struct TxnTag {};
+struct RowTag {};
+struct LockResourceTag {};
+struct VersionTag {};
+struct UserTag {};
+struct LectureTag {};
+
+using DatabaseId = StrongId<DatabaseTag>;
+using ScriptId = StrongId<ScriptTag>;
+using ImplementationId = StrongId<ImplementationTag>;
+using TestRecordId = StrongId<TestRecordTag>;
+using BugReportId = StrongId<BugReportTag>;
+using AnnotationId = StrongId<AnnotationTag>;
+using BlobId = StrongId<BlobTag>;
+using StationId = StrongId<StationTag>;
+using ObjectId = StrongId<ObjectTag>;
+using TxnId = StrongId<TxnTag>;
+using RowId = StrongId<RowTag>;
+using LockResourceId = StrongId<LockResourceTag>;
+using VersionId = StrongId<VersionTag>;
+using UserId = StrongId<UserTag>;
+using LectureId = StrongId<LectureTag>;
+
+}  // namespace wdoc
+
+namespace std {
+template <typename Tag>
+struct hash<wdoc::StrongId<Tag>> {
+  size_t operator()(wdoc::StrongId<Tag> id) const noexcept {
+    return std::hash<uint64_t>{}(id.value());
+  }
+};
+}  // namespace std

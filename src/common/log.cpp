@@ -1,0 +1,26 @@
+#include "common/log.hpp"
+
+namespace wdoc {
+
+const char* Log::name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel lvl, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] ", name(lvl));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace wdoc

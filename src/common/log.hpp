@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off by default in benches/tests; examples raise
+// the level to show the narrative of a run.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace wdoc {
+
+enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off = 5 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::warn;
+    return lvl;
+  }
+
+  static void write(LogLevel lvl, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  static const char* name(LogLevel lvl);
+};
+
+#define WDOC_LOG(lvl, ...)                                         \
+  do {                                                             \
+    if (static_cast<int>(lvl) >= static_cast<int>(::wdoc::Log::level())) \
+      ::wdoc::Log::write(lvl, __VA_ARGS__);                        \
+  } while (0)
+
+#define WDOC_TRACE(...) WDOC_LOG(::wdoc::LogLevel::trace, __VA_ARGS__)
+#define WDOC_DEBUG(...) WDOC_LOG(::wdoc::LogLevel::debug, __VA_ARGS__)
+#define WDOC_INFO(...) WDOC_LOG(::wdoc::LogLevel::info, __VA_ARGS__)
+#define WDOC_WARN(...) WDOC_LOG(::wdoc::LogLevel::warn, __VA_ARGS__)
+#define WDOC_ERROR(...) WDOC_LOG(::wdoc::LogLevel::error, __VA_ARGS__)
+
+}  // namespace wdoc

@@ -1,0 +1,25 @@
+#include "common/result.hpp"
+
+namespace wdoc {
+
+const char* errc_name(Errc c) {
+  switch (c) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::constraint_violation: return "constraint_violation";
+    case Errc::lock_conflict: return "lock_conflict";
+    case Errc::deadlock: return "deadlock";
+    case Errc::timeout: return "timeout";
+    case Errc::conflict: return "conflict";
+    case Errc::unavailable: return "unavailable";
+    case Errc::io_error: return "io_error";
+    case Errc::corrupt: return "corrupt";
+    case Errc::unsupported: return "unsupported";
+    case Errc::out_of_space: return "out_of_space";
+  }
+  return "unknown";
+}
+
+}  // namespace wdoc

@@ -1,0 +1,130 @@
+// Result<T> / Status error handling used across the wdoc libraries.
+//
+// Library code never throws for expected failures (missing key, lock
+// conflict, constraint violation); it returns Result<T>. Exceptions are
+// reserved for programming errors via WDOC_CHECK.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace wdoc {
+
+enum class Errc {
+  ok = 0,
+  not_found,
+  already_exists,
+  invalid_argument,
+  constraint_violation,   // unique / foreign-key violation
+  lock_conflict,          // incompatible lock held by another owner
+  deadlock,               // transaction chosen as deadlock victim
+  timeout,
+  conflict,               // optimistic / state conflict (e.g. stale check-in)
+  unavailable,            // station offline or object not materialized here
+  io_error,
+  corrupt,                // failed integrity check while decoding
+  unsupported,
+  out_of_space,
+};
+
+[[nodiscard]] const char* errc_name(Errc c);
+
+struct Error {
+  Errc code = Errc::ok;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const {
+    return std::string(errc_name(code)) + ": " + message;
+  }
+};
+
+// A Status is a Result with no payload.
+class Status {
+ public:
+  Status() = default;
+  Status(Errc code, std::string message) : error_{code, std::move(message)} {}
+  Status(Error e) : error_(std::move(e)) {}  // NOLINT: implicit so WDOC_TRY propagates
+
+  [[nodiscard]] static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return error_.code == Errc::ok; }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] Errc code() const { return error_.code; }
+  [[nodiscard]] const std::string& message() const { return error_.message; }
+  [[nodiscard]] const Error& error() const { return error_; }
+
+  // Aborts (debug) / throws (release) if not ok. For tests and examples.
+  void expect(const char* what) const {
+    if (!is_ok()) throw std::runtime_error(std::string(what) + ": " + error_.to_string());
+  }
+
+ private:
+  Error error_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Errc code, std::string message) : error_{code, std::move(message)} {}
+  Result(Error e) : error_(std::move(e)) {}  // NOLINT: implicit by design
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  [[nodiscard]] Errc code() const { return is_ok() ? Errc::ok : error_.code; }
+  [[nodiscard]] const std::string& message() const { return error_.message; }
+  [[nodiscard]] const Error& error() const { return error_; }
+  [[nodiscard]] Status status() const {
+    return is_ok() ? Status::ok() : Status(error_);
+  }
+
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+  // Unwrap for tests/examples: throws with context on error.
+  T expect(const char* what) && {
+    if (!is_ok()) throw std::runtime_error(std::string(what) + ": " + error_.to_string());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Error error_;
+};
+
+// Propagate-on-error helper: evaluates expr (a Status or Result), returns the
+// error from the current function if it failed.
+#define WDOC_TRY(expr)                                  \
+  do {                                                  \
+    auto wdoc_try_status_ = (expr);                     \
+    if (!wdoc_try_status_.is_ok())                      \
+      return ::wdoc::Error(wdoc_try_status_.error());   \
+  } while (0)
+
+// Internal-invariant check: throws std::logic_error. Used for conditions that
+// indicate a bug in wdoc itself, never for user input.
+#define WDOC_CHECK(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) throw std::logic_error(std::string("wdoc check failed: ") + (msg)); \
+  } while (0)
+
+}  // namespace wdoc

@@ -1,0 +1,142 @@
+// Byte-level serialization for wdoc wire and log formats.
+//
+// Fixed-width little-endian integers plus length-prefixed strings/blobs.
+// Writer appends to an owned buffer; Reader walks a borrowed span and fails
+// with Errc::corrupt instead of reading past the end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace wdoc {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v); }
+  void u32(std::uint32_t v) { append_le(v); }
+  void u64(std::uint64_t v) { append_le(v); }
+  void i64(std::int64_t v) { append_le(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    append_le(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  void bytes(std::span<const std::uint8_t> b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void raw(std::span<const std::uint8_t> b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  [[nodiscard]] const Bytes& data() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void append_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+  explicit Reader(const Bytes& data) : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8() {
+    if (remaining() < 1) return underflow();
+    return data_[pos_++];
+  }
+  [[nodiscard]] Result<std::uint16_t> u16() { return read_le<std::uint16_t>(); }
+  [[nodiscard]] Result<std::uint32_t> u32() { return read_le<std::uint32_t>(); }
+  [[nodiscard]] Result<std::uint64_t> u64() { return read_le<std::uint64_t>(); }
+  [[nodiscard]] Result<std::int64_t> i64() {
+    auto r = read_le<std::uint64_t>();
+    if (!r) return r.error();
+    return static_cast<std::int64_t>(r.value());
+  }
+  [[nodiscard]] Result<double> f64() {
+    auto r = read_le<std::uint64_t>();
+    if (!r) return r.error();
+    double v;
+    std::uint64_t bits = r.value();
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  [[nodiscard]] Result<bool> boolean() {
+    auto r = u8();
+    if (!r) return r.error();
+    return r.value() != 0;
+  }
+
+  // Reads a u32 element count and sanity-checks it against the bytes left:
+  // each element needs at least `min_element_bytes`, so any larger count is
+  // corruption. Use this before reserving — a hostile count must never
+  // drive an allocation.
+  [[nodiscard]] Result<std::uint32_t> count(std::size_t min_element_bytes = 1) {
+    auto n = u32();
+    if (!n) return n;
+    if (static_cast<std::uint64_t>(n.value()) * min_element_bytes > remaining()) {
+      return Error{Errc::corrupt, "implausible element count"};
+    }
+    return n;
+  }
+
+  [[nodiscard]] Result<std::string> str() {
+    auto n = u32();
+    if (!n) return n.error();
+    if (remaining() < n.value()) return underflow();
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n.value());
+    pos_ += n.value();
+    return s;
+  }
+  [[nodiscard]] Result<Bytes> bytes() {
+    auto n = u32();
+    if (!n) return n.error();
+    if (remaining() < n.value()) return underflow();
+    Bytes b(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n.value()));
+    pos_ += n.value();
+    return b;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+  [[nodiscard]] std::size_t position() const { return pos_; }
+
+ private:
+  template <typename T>
+  Result<T> read_le() {
+    if (remaining() < sizeof(T)) return Error{Errc::corrupt, "buffer underflow"};
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+  [[nodiscard]] static Error underflow() { return {Errc::corrupt, "buffer underflow"}; }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wdoc

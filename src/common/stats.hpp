@@ -1,0 +1,74 @@
+// Small statistics helpers for benchmarks and simulations: an online
+// mean/min/max accumulator and an exact-percentile sampler (stores samples;
+// fine at experiment scale).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace wdoc {
+
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    sum_ += x;
+    sum_sq_ += x * x;
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double variance() const {
+    if (n_ < 2) return 0.0;
+    double m = mean();
+    return std::max(0.0, sum_sq_ / static_cast<double>(n_) - m * m);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0, sum_sq_ = 0, min_ = 0, max_ = 0;
+};
+
+// Exact percentiles over retained samples.
+class Percentiles {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  // q in [0, 1]; nearest-rank. 0 with no samples.
+  [[nodiscard]] double quantile(double q) {
+    if (samples_.empty()) return 0.0;
+    WDOC_CHECK(q >= 0.0 && q <= 1.0, "quantile out of range");
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples_.size())));
+    if (rank > 0) --rank;
+    return samples_[std::min(rank, samples_.size() - 1)];
+  }
+
+  [[nodiscard]] double p50() { return quantile(0.50); }
+  [[nodiscard]] double p90() { return quantile(0.90); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace wdoc

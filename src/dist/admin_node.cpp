@@ -1,0 +1,134 @@
+#include "dist/admin_node.hpp"
+
+#include "common/log.hpp"
+
+namespace wdoc::dist {
+
+namespace {
+
+Bytes encode_vector(std::uint64_t m, const std::vector<StationId>& vec) {
+  Writer w;
+  w.u64(m);
+  w.u32(static_cast<std::uint32_t>(vec.size()));
+  for (StationId s : vec) w.u64(s.value());
+  return w.take();
+}
+
+Result<std::pair<std::uint64_t, std::vector<StationId>>> decode_vector(const Bytes& b) {
+  Reader r(b);
+  auto m = r.u64();
+  if (!m) return m.error();
+  auto n = r.count(8);
+  if (!n) return n.error();
+  std::vector<StationId> vec;
+  vec.reserve(n.value());
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    auto s = r.u64();
+    if (!s) return s.error();
+    vec.push_back(StationId{s.value()});
+  }
+  return std::make_pair(m.value(), std::move(vec));
+}
+
+}  // namespace
+
+AdminNode::AdminNode(net::Fabric& fabric, StationId self, Coordinator& coordinator,
+                     std::uint64_t m)
+    : fabric_(&fabric), self_(self), coordinator_(&coordinator), m_(m) {}
+
+void AdminNode::bind() {
+  fabric_->set_handler(self_, [this](const net::Message& msg) { on_message(msg); });
+}
+
+Status AdminNode::set_m(std::uint64_t m) {
+  if (m < 1) return {Errc::invalid_argument, "m must be >= 1"};
+  m_ = m;
+  return announce_vector();
+}
+
+Status AdminNode::send_vector_to(StationId to) const {
+  net::Message msg;
+  msg.from = self_;
+  msg.to = to;
+  msg.type = kVector;
+  msg.payload = encode_vector(m_, coordinator_->broadcast_vector());
+  return fabric_->send(std::move(msg));
+}
+
+Status AdminNode::announce_vector() {
+  for (StationId member : coordinator_->broadcast_vector()) {
+    WDOC_TRY(send_vector_to(member));
+  }
+  return Status::ok();
+}
+
+void AdminNode::on_message(const net::Message& msg) {
+  if (msg.type != kJoinReq) {
+    WDOC_WARN("admin %llu: unexpected message type %s",
+              static_cast<unsigned long long>(self_.value()), msg.type.c_str());
+    return;
+  }
+  ++joins_served_;
+  coordinator_->register_station(msg.from);
+  auto position = coordinator_->position_of(msg.from);
+  WDOC_CHECK(position.has_value(), "registered station has no position");
+
+  net::Message rsp;
+  rsp.from = self_;
+  rsp.to = msg.from;
+  rsp.type = kJoinRsp;
+  Writer w;
+  w.u64(*position);
+  rsp.payload = w.take();
+  (void)fabric_->send(std::move(rsp));
+
+  // Every member (including the newcomer) learns the new vector.
+  (void)announce_vector();
+}
+
+// --- AdminClient -------------------------------------------------------------
+
+AdminClient::AdminClient(net::Fabric& fabric, StationNode& node, StationId admin)
+    : fabric_(&fabric), node_(&node), admin_(admin) {}
+
+void AdminClient::bind() {
+  fabric_->set_handler(node_->id(),
+                       [this](const net::Message& msg) { on_message(msg); });
+}
+
+Status AdminClient::request_join(std::function<void(std::uint64_t)> on_joined) {
+  on_joined_ = std::move(on_joined);
+  net::Message msg;
+  msg.from = node_->id();
+  msg.to = admin_;
+  msg.type = AdminNode::kJoinReq;
+  return fabric_->send(std::move(msg));
+}
+
+void AdminClient::on_message(const net::Message& msg) {
+  if (msg.type == AdminNode::kJoinRsp) {
+    Reader r(msg.payload);
+    auto position = r.u64();
+    if (!position) return;
+    joined_ = true;
+    if (on_joined_) {
+      auto cb = std::move(on_joined_);
+      on_joined_ = nullptr;
+      cb(position.value());
+    }
+    return;
+  }
+  if (msg.type == AdminNode::kVector) {
+    auto decoded = decode_vector(msg.payload);
+    if (!decoded) {
+      WDOC_ERROR("bad admin.vector payload: %s", decoded.message().c_str());
+      return;
+    }
+    node_->set_tree(std::move(decoded.value().second), decoded.value().first);
+    return;
+  }
+  // Everything else belongs to the distribution protocol.
+  node_->handle(msg);
+}
+
+}  // namespace wdoc::dist

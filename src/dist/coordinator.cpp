@@ -1,0 +1,79 @@
+#include "dist/coordinator.hpp"
+
+#include <algorithm>
+
+namespace wdoc::dist {
+
+void Coordinator::register_station(StationId id) {
+  if (positions_.contains(id)) return;
+  stations_.push_back(id);
+  positions_[id] = stations_.size();  // 1-based linear join order
+}
+
+std::optional<std::uint64_t> Coordinator::position_of(StationId id) const {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Coordinator::set_m(blob::MediaType type, std::uint64_t m) {
+  WDOC_CHECK(m >= 1, "m must be >= 1");
+  m_by_media_[static_cast<std::size_t>(type)] = m;
+}
+
+std::uint64_t Coordinator::m_for(blob::MediaType type) const {
+  std::uint64_t m = m_by_media_[static_cast<std::size_t>(type)];
+  return m == 0 ? 2 : m;  // conservative binary tree until adapted
+}
+
+void Coordinator::adapt(double uplink_bps, double latency_s) {
+  const std::uint64_t n = std::max<std::uint64_t>(stations_.size(), 1);
+  for (std::size_t t = 0; t < blob::kMediaTypeCount; ++t) {
+    const std::uint64_t bytes =
+        blob::typical_media_bytes(static_cast<blob::MediaType>(t));
+    m_by_media_[t] = choose_m(n, bytes, uplink_bps, latency_s);
+  }
+}
+
+void Coordinator::configure_tree(std::vector<StationNode*>& nodes,
+                                 blob::MediaType dominant) const {
+  const std::uint64_t m = m_for(dominant);
+  for (StationNode* node : nodes) {
+    node->set_tree(stations_, m);
+  }
+}
+
+Status Coordinator::register_course(const CourseRegistration& reg) {
+  if (!positions_.contains(reg.station)) {
+    return {Errc::not_found, "station not registered with the administrator"};
+  }
+  for (const CourseRegistration& r : registrations_) {
+    if (r.course == reg.course && r.student == reg.student) {
+      return {Errc::already_exists, "student already registered for " + reg.course};
+    }
+  }
+  registrations_.push_back(reg);
+  return Status::ok();
+}
+
+std::vector<CourseRegistration> Coordinator::registrations_of(
+    const std::string& course) const {
+  std::vector<CourseRegistration> out;
+  for (const CourseRegistration& r : registrations_) {
+    if (r.course == course) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<StationId> Coordinator::stations_of_course(const std::string& course) const {
+  std::vector<StationId> out;
+  for (const CourseRegistration& r : registrations_) {
+    if (r.course == course &&
+        std::find(out.begin(), out.end(), r.station) == out.end()) {
+      out.push_back(r.station);
+    }
+  }
+  return out;
+}
+
+}  // namespace wdoc::dist

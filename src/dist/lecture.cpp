@@ -1,0 +1,79 @@
+#include "dist/lecture.hpp"
+
+namespace wdoc::dist {
+
+const char* lecture_state_name(LectureState s) {
+  switch (s) {
+    case LectureState::pending: return "pending";
+    case LectureState::live: return "live";
+    case LectureState::ended: return "ended";
+  }
+  return "?";
+}
+
+LectureSession::LectureSession(LectureId id, DocManifest manifest,
+                               StationNode& instructor,
+                               std::vector<StationNode*> audience)
+    : id_(id),
+      manifest_(std::move(manifest)),
+      instructor_(&instructor),
+      audience_(std::move(audience)) {}
+
+Status LectureSession::begin() {
+  if (state_ == LectureState::ended) {
+    return {Errc::conflict, "lecture already ended"};
+  }
+  WDOC_TRY(instructor_->broadcast_push(manifest_));
+  state_ = LectureState::live;
+  return Status::ok();
+}
+
+std::vector<StationId> LectureSession::missing() const {
+  std::vector<StationId> out;
+  for (StationNode* node : audience_) {
+    if (!node->store().has_materialized(manifest_.doc_key)) {
+      out.push_back(node->id());
+    }
+  }
+  return out;
+}
+
+Result<std::size_t> LectureSession::repair() {
+  if (state_ != LectureState::live) {
+    return Error{Errc::conflict, "repair() requires a live lecture"};
+  }
+  std::size_t issued = 0;
+  const std::string& key = manifest_.doc_key;
+  for (StationNode* node : audience_) {
+    if (node->store().has_materialized(key)) continue;
+    // Seed a reference (with the home) if the push never arrived at all, so
+    // the pull has routing information even without a tree.
+    if (node->store().doc(key) == nullptr) {
+      WDOC_TRY(node->store().put_reference(manifest_));
+    }
+    // Force materialization on arrival regardless of the watermark: the
+    // lecture is live, the student needs the physical data now.
+    StationNode* target = node;
+    std::string doc_key = key;
+    WDOC_TRY(node->fetch(key, [target, doc_key](Result<DocManifest> r, SimTime) {
+      if (r.is_ok()) {
+        (void)target->store().materialize(doc_key, /*ephemeral=*/true);
+      }
+    }));
+    ++issued;
+  }
+  repairs_issued_ += issued;
+  return issued;
+}
+
+std::uint64_t LectureSession::end() {
+  if (state_ == LectureState::ended) return 0;
+  state_ = LectureState::ended;
+  std::uint64_t reclaimed = 0;
+  for (StationNode* node : audience_) {
+    reclaimed += node->end_lecture();
+  }
+  return reclaimed;
+}
+
+}  // namespace wdoc::dist

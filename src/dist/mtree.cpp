@@ -1,0 +1,69 @@
+#include "dist/mtree.hpp"
+
+#include <cmath>
+
+namespace wdoc::dist {
+
+std::vector<std::uint64_t> children_of(std::uint64_t n, std::uint64_t m, std::uint64_t N) {
+  std::vector<std::uint64_t> out;
+  WDOC_CHECK(m >= 1 && n >= 1, "children_of: bad arguments");
+  out.reserve(m);
+  for (std::uint64_t i = 1; i <= m; ++i) {
+    std::uint64_t c = child_position(n, i, m);
+    if (c > N) break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t depth_of(std::uint64_t k, std::uint64_t m) {
+  WDOC_CHECK(k >= 1 && m >= 1, "depth_of: bad arguments");
+  std::uint64_t depth = 0;
+  while (k > 1) {
+    k = parent_position(k, m);
+    ++depth;
+  }
+  return depth;
+}
+
+std::uint64_t tree_depth(std::uint64_t N, std::uint64_t m) {
+  // Deepest node is the last to join.
+  return depth_of(N, m);
+}
+
+std::vector<std::uint64_t> ancestry(std::uint64_t k, std::uint64_t m) {
+  std::vector<std::uint64_t> out{k};
+  while (k > 1) {
+    k = parent_position(k, m);
+    out.push_back(k);
+  }
+  return out;
+}
+
+double estimate_makespan_s(std::uint64_t N, std::uint64_t m, std::uint64_t bytes,
+                           double bps, double latency_s) {
+  WDOC_CHECK(N >= 1 && m >= 1, "estimate_makespan_s: bad arguments");
+  if (N == 1) return 0.0;
+  const double send_s = static_cast<double>(bytes) * 8.0 / bps;
+  const double depth = static_cast<double>(tree_depth(N, m));
+  // Each level of the critical path waits for its parent to finish all m
+  // sequential child sends, plus one propagation hop.
+  const double fanout = static_cast<double>(std::min<std::uint64_t>(m, N - 1));
+  return depth * (fanout * send_s + latency_s);
+}
+
+std::uint64_t choose_m(std::uint64_t N, std::uint64_t bytes, double bps, double latency_s,
+                       std::uint64_t m_max) {
+  std::uint64_t best_m = 1;
+  double best = estimate_makespan_s(N, 1, bytes, bps, latency_s);
+  for (std::uint64_t m = 2; m <= m_max; ++m) {
+    double t = estimate_makespan_s(N, m, bytes, bps, latency_s);
+    if (t < best) {
+      best = t;
+      best_m = m;
+    }
+  }
+  return best_m;
+}
+
+}  // namespace wdoc::dist

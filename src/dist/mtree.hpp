@@ -1,0 +1,66 @@
+// The paper's full m-ary distribution tree (§4).
+//
+// N stations join the database system in a linear order and are arranged in
+// a full m-ary tree, breadth-first. The paper gives two placement equations
+// (positions are 1-based):
+//
+//   child(n, i)  = m(n-1) + i + 1          for the i-th child, 1 <= i <= m
+//   parent(k)    = (k-i-1)/m + 1,  where i = (k-1) mod m, except i = m when
+//                  the mod is zero
+//
+// These are pure functions of position; tests verify the inverse property
+// exhaustively ("proved by mathematical induction ... also implemented in
+// our system").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace wdoc::dist {
+
+// Position of the i-th child (1-based) of the station at position n.
+// Requires m >= 1, n >= 1, 1 <= i <= m. The result may exceed N; callers
+// clip against the station count.
+[[nodiscard]] constexpr std::uint64_t child_position(std::uint64_t n, std::uint64_t i,
+                                                     std::uint64_t m) {
+  return m * (n - 1) + i + 1;
+}
+
+// Position of the unique parent of the station at position k (k >= 2).
+[[nodiscard]] constexpr std::uint64_t parent_position(std::uint64_t k, std::uint64_t m) {
+  std::uint64_t i = (k - 1) % m;
+  if (i == 0) i = m;
+  return (k - i - 1) / m + 1;
+}
+
+// All existing children of position n given N stations.
+[[nodiscard]] std::vector<std::uint64_t> children_of(std::uint64_t n, std::uint64_t m,
+                                                     std::uint64_t N);
+
+// Depth of position k (root = 0).
+[[nodiscard]] std::uint64_t depth_of(std::uint64_t k, std::uint64_t m);
+
+// Depth of the whole tree over N stations (depth of position N).
+[[nodiscard]] std::uint64_t tree_depth(std::uint64_t N, std::uint64_t m);
+
+// Chain of positions from k up to the root, inclusive: {k, parent, ..., 1}.
+[[nodiscard]] std::vector<std::uint64_t> ancestry(std::uint64_t k, std::uint64_t m);
+
+// Estimated broadcast makespan for store-and-forward multicast of `bytes`
+// down an m-ary tree of N stations, each node sending to its children
+// sequentially over a `bps` uplink with one-way `latency_s` per hop:
+//   makespan ~ depth * latency + (sum over the critical path of sequential
+//   child sends) ~ tree_depth * (m * bytes*8/bps) + tree_depth * latency.
+// Used by the coordinator's adaptive choice of m (experiment E10).
+[[nodiscard]] double estimate_makespan_s(std::uint64_t N, std::uint64_t m,
+                                         std::uint64_t bytes, double bps,
+                                         double latency_s);
+
+// argmin over m in [1, m_max] of estimate_makespan_s. N >= 1.
+[[nodiscard]] std::uint64_t choose_m(std::uint64_t N, std::uint64_t bytes, double bps,
+                                     double latency_s, std::uint64_t m_max = 16);
+
+}  // namespace wdoc::dist

@@ -1,0 +1,483 @@
+#include "dist/station_node.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace wdoc::dist {
+
+namespace {
+
+// fetch_req payload: req_id, doc_key, path of station ids walked so far
+// (originator first).
+struct FetchReq {
+  std::uint64_t req_id = 0;
+  std::string doc_key;
+  std::vector<StationId> path;
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.u64(req_id);
+    w.str(doc_key);
+    w.u32(static_cast<std::uint32_t>(path.size()));
+    for (StationId s : path) w.u64(s.value());
+    return w.take();
+  }
+  [[nodiscard]] static Result<FetchReq> decode(const Bytes& b) {
+    Reader r(b);
+    FetchReq out;
+    auto id = r.u64();
+    if (!id) return id.error();
+    out.req_id = id.value();
+    auto key = r.str();
+    if (!key) return key.error();
+    out.doc_key = std::move(key).value();
+    auto n = r.count(8);
+    if (!n) return n.error();
+    out.path.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto s = r.u64();
+      if (!s) return s.error();
+      out.path.push_back(StationId{s.value()});
+    }
+    return out;
+  }
+};
+
+// fetch_rsp payload: req_id, manifest, remaining relay path (originator
+// first; the next hop is path.back()).
+struct FetchRsp {
+  std::uint64_t req_id = 0;
+  DocManifest manifest;
+  std::vector<StationId> path;
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.u64(req_id);
+    manifest.serialize(w);
+    w.u32(static_cast<std::uint32_t>(path.size()));
+    for (StationId s : path) w.u64(s.value());
+    return w.take();
+  }
+  [[nodiscard]] static Result<FetchRsp> decode(const Bytes& b) {
+    Reader r(b);
+    FetchRsp out;
+    auto id = r.u64();
+    if (!id) return id.error();
+    out.req_id = id.value();
+    auto m = DocManifest::deserialize(r);
+    if (!m) return m.error();
+    out.manifest = std::move(m).value();
+    auto n = r.count(8);
+    if (!n) return n.error();
+    out.path.reserve(n.value());
+    for (std::uint32_t i = 0; i < n.value(); ++i) {
+      auto s = r.u64();
+      if (!s) return s.error();
+      out.path.push_back(StationId{s.value()});
+    }
+    return out;
+  }
+};
+
+struct BlobReq {
+  std::uint64_t req_id = 0;
+  std::string doc_key;
+  Digest128 digest;
+  std::uint64_t size = 0;
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.u64(req_id);
+    w.str(doc_key);
+    w.u64(digest.lo);
+    w.u64(digest.hi);
+    w.u64(size);
+    return w.take();
+  }
+  [[nodiscard]] static Result<BlobReq> decode(const Bytes& b) {
+    Reader r(b);
+    BlobReq out;
+    auto id = r.u64();
+    auto key = r.str();
+    if (!id || !key) return Error{Errc::corrupt, "bad blob req"};
+    out.req_id = id.value();
+    out.doc_key = std::move(key).value();
+    auto lo = r.u64();
+    auto hi = r.u64();
+    auto size = r.u64();
+    if (!lo || !hi || !size) return Error{Errc::corrupt, "bad blob req"};
+    out.digest = Digest128{lo.value(), hi.value()};
+    out.size = size.value();
+    return out;
+  }
+};
+
+}  // namespace
+
+StationNode::StationNode(net::Fabric& fabric, StationId self, ObjectStore& store,
+                         NodeConfig config)
+    : fabric_(&fabric), self_(self), store_(&store), config_(config) {}
+
+void StationNode::bind() {
+  fabric_->set_handler(self_, [this](const net::Message& msg) { on_message(msg); });
+}
+
+void StationNode::set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m) {
+  WDOC_CHECK(m >= 1, "set_tree: m must be >= 1");
+  broadcast_vector_ = std::move(broadcast_vector);
+  m_ = m;
+  position_ = 0;
+  for (std::size_t i = 0; i < broadcast_vector_.size(); ++i) {
+    if (broadcast_vector_[i] == self_) {
+      position_ = i + 1;
+      break;
+    }
+  }
+}
+
+std::optional<StationId> StationNode::parent_station() const {
+  if (position_ <= 1) return std::nullopt;
+  std::uint64_t p = parent_position(position_, m_);
+  return broadcast_vector_[p - 1];
+}
+
+Status StationNode::send_push(StationId to, const DocManifest& manifest) {
+  Writer w;
+  manifest.serialize(w);
+  net::Message msg;
+  msg.from = self_;
+  msg.to = to;
+  msg.type = kPush;
+  msg.payload = w.take();
+  msg.wire_size = manifest.total_bytes();
+  return fabric_->send(std::move(msg));
+}
+
+Status StationNode::broadcast_push(const DocManifest& manifest) {
+  if (position_ == 0) return {Errc::invalid_argument, "station not in broadcast tree"};
+  // Instructor's own persistent copy (idempotent).
+  if (store_->doc(manifest.doc_key) == nullptr) {
+    WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
+  }
+  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest));
+    ++stats_.pushes_forwarded;
+  }
+  return Status::ok();
+}
+
+void StationNode::on_message(const net::Message& msg) {
+  if (msg.type == kPush) {
+    on_push(msg);
+  } else if (msg.type == kRefAnnounce) {
+    on_ref_announce(msg);
+  } else if (msg.type == kFetchReq) {
+    on_fetch_req(msg);
+  } else if (msg.type == kFetchRsp) {
+    on_fetch_rsp(msg);
+  } else if (msg.type == kFetchErr) {
+    on_fetch_err(msg);
+  } else if (msg.type == kBlobReq) {
+    on_blob_req(msg);
+  } else if (msg.type == kBlobRsp) {
+    on_blob_rsp(msg);
+  } else {
+    WDOC_WARN("station %llu: unknown message type %s",
+              static_cast<unsigned long long>(self_.value()), msg.type.c_str());
+  }
+}
+
+void StationNode::on_push(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto manifest = DocManifest::deserialize(r);
+  if (!manifest) {
+    WDOC_ERROR("push decode failed: %s", manifest.message().c_str());
+    return;
+  }
+  ++stats_.pushes_received;
+  const DocManifest& m = manifest.value();
+  const StoredDoc* existing = store_->doc(m.doc_key);
+  if (existing == nullptr) {
+    Status s = store_->put_instance(m, /*ephemeral=*/true);
+    if (!s.is_ok()) {
+      WDOC_WARN("station %llu: push store failed: %s",
+                static_cast<unsigned long long>(self_.value()), s.message().c_str());
+    }
+  } else if (existing->form == ObjectForm::reference) {
+    (void)store_->materialize(m.doc_key, /*ephemeral=*/true);
+  }
+  // Forward down the tree.
+  if (position_ != 0) {
+    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+      Status s = send_push(broadcast_vector_[child - 1], m);
+      if (s.is_ok()) ++stats_.pushes_forwarded;
+    }
+  }
+}
+
+Status StationNode::announce_reference(const DocManifest& manifest) {
+  if (position_ == 0) return {Errc::invalid_argument, "station not in broadcast tree"};
+  Writer w;
+  manifest.serialize(w);
+  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+    net::Message msg;
+    msg.from = self_;
+    msg.to = broadcast_vector_[child - 1];
+    msg.type = kRefAnnounce;
+    msg.payload = w.data();
+    // Reference records are structure-free: only the manifest crosses the
+    // wire (charged at payload size), not the document.
+    WDOC_TRY(fabric_->send(std::move(msg)));
+  }
+  return Status::ok();
+}
+
+void StationNode::on_ref_announce(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto manifest = DocManifest::deserialize(r);
+  if (!manifest) return;
+  const DocManifest& m = manifest.value();
+  if (store_->doc(m.doc_key) == nullptr) {
+    (void)store_->put_reference(m);
+  }
+  // Forward down the tree.
+  if (position_ != 0) {
+    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+      net::Message out;
+      out.from = self_;
+      out.to = broadcast_vector_[child - 1];
+      out.type = kRefAnnounce;
+      out.payload = msg.payload;
+      (void)fabric_->send(std::move(out));
+    }
+  }
+}
+
+Status StationNode::fetch(const std::string& doc_key, FetchCallback cb) {
+  const StoredDoc* d = store_->doc(doc_key);
+  if (d != nullptr && d->form != ObjectForm::reference) {
+    ++stats_.fetches_local;
+    cb(d->manifest, fabric_->now());
+    return Status::ok();
+  }
+  ++stats_.fetches_remote;
+
+  // Destination: parent in the tree; with no tree configured, go straight
+  // to the document's home station (requires a local reference).
+  std::optional<StationId> target = parent_station();
+  if (!target) {
+    if (d != nullptr && d->manifest.home.valid() && d->manifest.home != self_) {
+      target = d->manifest.home;
+    } else {
+      ++stats_.failed_fetches;
+      return {Errc::unavailable, "no parent and no home reference for " + doc_key};
+    }
+  }
+
+  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  pending_fetches_[req_id] = std::move(cb);
+
+  FetchReq req;
+  req.req_id = req_id;
+  req.doc_key = doc_key;
+  req.path.push_back(self_);
+  net::Message msg;
+  msg.from = self_;
+  msg.to = *target;
+  msg.type = kFetchReq;
+  msg.payload = req.encode();
+  Status s = fabric_->send(std::move(msg));
+  if (!s.is_ok()) pending_fetches_.erase(req_id);
+  return s;
+}
+
+void StationNode::on_fetch_req(const net::Message& msg) {
+  auto req = FetchReq::decode(msg.payload);
+  if (!req) return;
+  FetchReq& q = req.value();
+
+  const StoredDoc* d = store_->doc(q.doc_key);
+  if (d != nullptr && d->form != ObjectForm::reference) {
+    // Serve: relay the data back down the request path, store-and-forward.
+    ++stats_.serves;
+    FetchRsp rsp;
+    rsp.req_id = q.req_id;
+    rsp.manifest = d->manifest;
+    rsp.path = q.path;
+    StationId next = rsp.path.back();
+    rsp.path.pop_back();
+    net::Message out;
+    out.from = self_;
+    out.to = next;
+    out.type = kFetchRsp;
+    out.payload = rsp.encode();
+    out.wire_size = d->manifest.total_bytes();
+    (void)fabric_->send(std::move(out));
+    return;
+  }
+
+  // Not here: forward up the chain.
+  std::optional<StationId> up = parent_station();
+  if (!up) {
+    // Root without the document: report failure back to the originator.
+    net::Message out;
+    out.from = self_;
+    out.to = q.path.front();
+    out.type = kFetchErr;
+    Writer w;
+    w.u64(q.req_id);
+    w.str(q.doc_key);
+    out.payload = w.take();
+    (void)fabric_->send(std::move(out));
+    return;
+  }
+  ++stats_.forwards_up;
+  q.path.push_back(self_);
+  net::Message out;
+  out.from = self_;
+  out.to = *up;
+  out.type = kFetchReq;
+  out.payload = q.encode();
+  (void)fabric_->send(std::move(out));
+}
+
+void StationNode::on_fetch_rsp(const net::Message& msg) {
+  auto rsp = FetchRsp::decode(msg.payload);
+  if (!rsp) return;
+  FetchRsp& r = rsp.value();
+
+  if (r.path.empty()) {
+    // Final delivery to the originator.
+    const std::string& key = r.manifest.doc_key;
+    const StoredDoc* d = store_->doc(key);
+    if (d == nullptr) {
+      (void)store_->put_reference(r.manifest);
+      d = store_->doc(key);
+    }
+    std::uint64_t count = store_->note_remote_retrieval(key);
+    if (count >= config_.watermark && d != nullptr &&
+        d->form == ObjectForm::reference) {
+      // Watermark hit: copy the physical multimedia data locally.
+      Status s = store_->materialize(key, /*ephemeral=*/true);
+      if (s.is_ok()) ++stats_.replications;
+    }
+    complete_fetch(r.req_id, r.manifest);
+    return;
+  }
+
+  // Intermediate hop: relay downward (store-and-forward).
+  ++stats_.relays;
+  if (config_.relay_cache) {
+    const StoredDoc* d = store_->doc(r.manifest.doc_key);
+    if (d == nullptr) {
+      (void)store_->put_instance(r.manifest, /*ephemeral=*/true);
+    } else if (d->form == ObjectForm::reference) {
+      (void)store_->materialize(r.manifest.doc_key, /*ephemeral=*/true);
+    }
+  }
+  StationId next = r.path.back();
+  r.path.pop_back();
+  net::Message out;
+  out.from = self_;
+  out.to = next;
+  out.type = kFetchRsp;
+  out.payload = r.encode();
+  out.wire_size = r.manifest.total_bytes();
+  (void)fabric_->send(std::move(out));
+}
+
+void StationNode::on_fetch_err(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto req_id = r.u64();
+  if (!req_id) return;
+  auto key = r.str();
+  ++stats_.failed_fetches;
+  complete_fetch(req_id.value(),
+                 Error{Errc::not_found,
+                       "document not found in tree: " + (key ? key.value() : "?")});
+}
+
+void StationNode::complete_fetch(std::uint64_t req_id, Result<DocManifest> result) {
+  auto it = pending_fetches_.find(req_id);
+  if (it == pending_fetches_.end()) return;
+  FetchCallback cb = std::move(it->second);
+  pending_fetches_.erase(it);
+  cb(std::move(result), fabric_->now());
+}
+
+Status StationNode::fetch_blob(StationId holder, const std::string& doc_key,
+                               const BlobRef& blob, BlobCallback cb) {
+  // Already resident (e.g. a previous fetch or a pushed lecture): no wire
+  // traffic needed.
+  if (store_->blobs().find(blob.digest).has_value()) {
+    ++stats_.fetches_local;
+    cb(Status::ok(), fabric_->now());
+    return Status::ok();
+  }
+  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  pending_blobs_[req_id] = PendingBlob{blob, std::move(cb)};
+  BlobReq req;
+  req.req_id = req_id;
+  req.doc_key = doc_key;
+  req.digest = blob.digest;
+  req.size = blob.size;
+  net::Message msg;
+  msg.from = self_;
+  msg.to = holder;
+  msg.type = kBlobReq;
+  msg.payload = req.encode();
+  Status s = fabric_->send(std::move(msg));
+  if (!s.is_ok()) pending_blobs_.erase(req_id);
+  return s;
+}
+
+void StationNode::on_blob_req(const net::Message& msg) {
+  auto req = BlobReq::decode(msg.payload);
+  if (!req) return;
+  ++stats_.blob_serves;
+  net::Message out;
+  out.from = self_;
+  out.to = msg.from;
+  out.type = kBlobRsp;
+  Writer w;
+  w.u64(req.value().req_id);
+  out.payload = w.take();
+  out.wire_size = req.value().size;  // payload bytes charged on the wire
+  (void)fabric_->send(std::move(out));
+}
+
+void StationNode::on_blob_rsp(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto req_id = r.u64();
+  if (!req_id) return;
+  auto it = pending_blobs_.find(req_id.value());
+  if (it == pending_blobs_.end()) return;
+  PendingBlob pending = std::move(it->second);
+  pending_blobs_.erase(it);
+  // The payload now lives locally (ephemeral buffer: zero refs, reclaimable
+  // by gc until a document instance claims it).
+  auto id = store_->blobs().put_synthetic(pending.blob.digest, pending.blob.size,
+                                          pending.blob.type);
+  if (id) {
+    (void)store_->blobs().release(id.value());
+  }
+  pending.cb(Status::ok(), fabric_->now());
+}
+
+std::uint64_t StationNode::end_lecture() {
+  std::uint64_t demoted = 0;
+  for (const std::string& key : store_->keys()) {
+    const StoredDoc* d = store_->doc(key);
+    if (d != nullptr && d->form == ObjectForm::instance && d->ephemeral) {
+      if (store_->demote_to_reference(key).is_ok()) {
+        ++demoted;
+        ++stats_.demotions;
+      }
+    }
+  }
+  // "Essentially, buffer spaces are used only" — reclaim them.
+  return store_->blobs().gc();
+}
+
+}  // namespace wdoc::dist

@@ -1,0 +1,147 @@
+// StationNode: the distribution protocol actor running at every station.
+//
+// Implements the paper's mechanisms (§4):
+//   * pre-broadcast push: lectures multicast down the full m-ary tree —
+//     each node stores an ephemeral copy and forwards to its children from
+//     the broadcast vector;
+//   * on-demand pull: a station missing a document asks up its parent
+//     chain; the response relays back down the same chain store-and-forward
+//     ("a child node copies information from its parent node");
+//   * watermark replication: after `watermark` remote retrievals of the
+//     same document, the physical data is materialized locally;
+//   * post-lecture migration: ephemeral instances demote to references,
+//     releasing BLOB references ("duplicated document instances migrate to
+//     document references");
+//   * blob-level fetches for on-demand streaming (experiment E3).
+//
+// The node is transport-agnostic: it runs identically over SimNetwork and
+// ThreadTransport (Fabric).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "dist/mtree.hpp"
+#include "dist/object_store.hpp"
+#include "net/fabric.hpp"
+
+namespace wdoc::dist {
+
+struct NodeConfig {
+  // Remote retrievals of one document before it is replicated locally.
+  // 1 replicates on first fetch; a very large value disables replication.
+  std::uint64_t watermark = 4;
+  // If true, intermediate stations relaying a pull response also keep an
+  // ephemeral copy (ablation of the paper's "only reviewers duplicate").
+  bool relay_cache = false;
+};
+
+struct NodeStats {
+  std::uint64_t pushes_received = 0;
+  std::uint64_t pushes_forwarded = 0;
+  std::uint64_t fetches_local = 0;    // resolved from local materialized copy
+  std::uint64_t fetches_remote = 0;   // had to go up the chain
+  std::uint64_t serves = 0;           // requests answered from local data
+  std::uint64_t relays = 0;           // pull responses relayed downward
+  std::uint64_t forwards_up = 0;      // pull requests forwarded to parent
+  std::uint64_t replications = 0;     // watermark-triggered materializations
+  std::uint64_t demotions = 0;        // instances migrated back to references
+  std::uint64_t blob_serves = 0;
+  std::uint64_t failed_fetches = 0;
+};
+
+class StationNode {
+ public:
+  using FetchCallback = std::function<void(Result<DocManifest>, SimTime)>;
+  using BlobCallback = std::function<void(Status, SimTime)>;
+
+  StationNode(net::Fabric& fabric, StationId self, ObjectStore& store,
+              NodeConfig config = {});
+
+  // Installs this node's message handler on the fabric.
+  void bind();
+  // Feeds one message to the protocol directly — for wrappers (e.g.
+  // AdminClient) that own the fabric handler and demultiplex.
+  void handle(const net::Message& msg) { on_message(msg); }
+
+  // --- topology -----------------------------------------------------------
+  // The class administrator's broadcast vector (stations in linear join
+  // order) and the tree fan-out m. The node derives its own position.
+  void set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m);
+  [[nodiscard]] std::uint64_t position() const { return position_; }
+  [[nodiscard]] std::optional<StationId> parent_station() const;
+
+  // --- instructor side ------------------------------------------------------
+  // Root of a multicast: stores a persistent instance (if not already held)
+  // and pushes down the tree. Children receive ephemeral copies.
+  [[nodiscard]] Status broadcast_push(const DocManifest& manifest);
+
+  // "References to the instance are broadcasted and stored in many remote
+  // stations" (§4): multicasts a reference record (manifest only, tiny wire
+  // size) down the tree so every station can later pull on demand.
+  [[nodiscard]] Status announce_reference(const DocManifest& manifest);
+
+  // --- student side --------------------------------------------------------
+  // Resolves a document: local hit completes synchronously; otherwise the
+  // request travels up the parent chain (or straight to `home` when no tree
+  // is configured) and the callback fires on response.
+  [[nodiscard]] Status fetch(const std::string& doc_key, FetchCallback cb);
+  // Fetches one BLOB's payload from `holder` (charged at blob size). On
+  // completion the payload is registered in the local BlobStore, so a
+  // repeat fetch of the same content completes locally without network
+  // traffic.
+  [[nodiscard]] Status fetch_blob(StationId holder, const std::string& doc_key,
+                                  const BlobRef& blob, BlobCallback cb);
+
+  // Post-lecture migration: every ephemeral instance demotes to a
+  // reference; returns reclaimable bytes (after the BlobStore gc).
+  std::uint64_t end_lecture();
+
+  [[nodiscard]] ObjectStore& store() { return *store_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] StationId id() const { return self_; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  void set_watermark(std::uint64_t w) { config_.watermark = w; }
+
+  // Message type tags (public for tests).
+  static constexpr const char* kPush = "dist.push";
+  static constexpr const char* kRefAnnounce = "dist.ref";
+  static constexpr const char* kFetchReq = "dist.fetch_req";
+  static constexpr const char* kFetchRsp = "dist.fetch_rsp";
+  static constexpr const char* kFetchErr = "dist.fetch_err";
+  static constexpr const char* kBlobReq = "dist.blob_req";
+  static constexpr const char* kBlobRsp = "dist.blob_rsp";
+
+ private:
+  void on_message(const net::Message& msg);
+  void on_push(const net::Message& msg);
+  void on_ref_announce(const net::Message& msg);
+  void on_fetch_req(const net::Message& msg);
+  void on_fetch_rsp(const net::Message& msg);
+  void on_fetch_err(const net::Message& msg);
+  void on_blob_req(const net::Message& msg);
+  void on_blob_rsp(const net::Message& msg);
+
+  void complete_fetch(std::uint64_t req_id, Result<DocManifest> result);
+  [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest);
+
+  net::Fabric* fabric_;
+  StationId self_;
+  ObjectStore* store_;
+  NodeConfig config_;
+  NodeStats stats_;
+
+  std::vector<StationId> broadcast_vector_;
+  std::uint64_t m_ = 2;
+  std::uint64_t position_ = 0;  // 1-based; 0 = not in tree
+
+  std::map<std::uint64_t, FetchCallback> pending_fetches_;
+  struct PendingBlob {
+    BlobRef blob;
+    BlobCallback cb;
+  };
+  std::map<std::uint64_t, PendingBlob> pending_blobs_;
+  std::uint64_t next_req_ = 0;
+};
+
+}  // namespace wdoc::dist

@@ -1,0 +1,156 @@
+#include "docmodel/annotation_ops.hpp"
+
+#include <algorithm>
+
+namespace wdoc::docmodel {
+
+const char* draw_op_kind_name(DrawOpKind k) {
+  switch (k) {
+    case DrawOpKind::line: return "line";
+    case DrawOpKind::rect: return "rect";
+    case DrawOpKind::ellipse: return "ellipse";
+    case DrawOpKind::text: return "text";
+    case DrawOpKind::freehand: return "freehand";
+  }
+  return "?";
+}
+
+BoundingBox AnnotationDoc::bounding_box() const {
+  if (ops_.empty()) return {};
+  BoundingBox box{INT32_MAX, INT32_MAX, INT32_MIN, INT32_MIN};
+  auto extend = [&](Point p) {
+    box.min_x = std::min(box.min_x, p.x);
+    box.min_y = std::min(box.min_y, p.y);
+    box.max_x = std::max(box.max_x, p.x);
+    box.max_y = std::max(box.max_y, p.y);
+  };
+  for (const DrawOp& op : ops_) {
+    extend(op.a);
+    if (op.kind != DrawOpKind::text) extend(op.b);
+    for (Point p : op.points) extend(p);
+  }
+  return box;
+}
+
+std::int64_t AnnotationDoc::duration_ms() const {
+  std::int64_t max_ms = 0;
+  for (const DrawOp& op : ops_) max_ms = std::max(max_ms, op.at_ms);
+  return max_ms;
+}
+
+Bytes AnnotationDoc::encode() const {
+  Writer w;
+  w.str("WDANN2");
+  w.u32(static_cast<std::uint32_t>(ops_.size()));
+  for (const DrawOp& op : ops_) {
+    w.u8(static_cast<std::uint8_t>(op.kind));
+    w.i64(op.at_ms);
+    w.u32(static_cast<std::uint32_t>(op.a.x));
+    w.u32(static_cast<std::uint32_t>(op.a.y));
+    w.u32(static_cast<std::uint32_t>(op.b.x));
+    w.u32(static_cast<std::uint32_t>(op.b.y));
+    w.u32(op.color);
+    w.u16(op.stroke_width);
+    w.str(op.text);
+    w.u32(static_cast<std::uint32_t>(op.points.size()));
+    for (Point p : op.points) {
+      w.u32(static_cast<std::uint32_t>(p.x));
+      w.u32(static_cast<std::uint32_t>(p.y));
+    }
+  }
+  return w.take();
+}
+
+Result<AnnotationDoc> AnnotationDoc::decode(const Bytes& data) {
+  Reader r(data);
+  auto magic = r.str();
+  if (!magic) return magic.error();
+  bool timed;
+  if (magic.value() == "WDANN2") {
+    timed = true;
+  } else if (magic.value() == "WDANN1") {
+    timed = false;  // legacy, untimed ops
+  } else {
+    return Error{Errc::corrupt, "bad annotation magic"};
+  }
+  auto n = r.count();
+  if (!n) return n.error();
+  AnnotationDoc doc;
+  for (std::uint32_t i = 0; i < n.value(); ++i) {
+    DrawOp op;
+    auto kind = r.u8();
+    if (!kind) return kind.error();
+    if (kind.value() > static_cast<std::uint8_t>(DrawOpKind::freehand)) {
+      return Error{Errc::corrupt, "bad draw-op kind"};
+    }
+    op.kind = static_cast<DrawOpKind>(kind.value());
+    if (timed) {
+      auto at = r.i64();
+      if (!at) return at.error();
+      op.at_ms = at.value();
+    }
+    auto ax = r.u32();
+    auto ay = r.u32();
+    auto bx = r.u32();
+    auto by = r.u32();
+    auto color = r.u32();
+    auto stroke = r.u16();
+    if (!ax || !ay || !bx || !by || !color || !stroke) {
+      return Error{Errc::corrupt, "truncated draw-op"};
+    }
+    op.a = {static_cast<std::int32_t>(ax.value()), static_cast<std::int32_t>(ay.value())};
+    op.b = {static_cast<std::int32_t>(bx.value()), static_cast<std::int32_t>(by.value())};
+    op.color = color.value();
+    op.stroke_width = stroke.value();
+    auto text = r.str();
+    if (!text) return text.error();
+    op.text = std::move(text).value();
+    auto npts = r.count(8);  // 8 bytes per point
+    if (!npts) return npts.error();
+    op.points.reserve(npts.value());
+    for (std::uint32_t j = 0; j < npts.value(); ++j) {
+      auto px = r.u32();
+      auto py = r.u32();
+      if (!px || !py) return Error{Errc::corrupt, "truncated freehand points"};
+      op.points.push_back(
+          {static_cast<std::int32_t>(px.value()), static_cast<std::int32_t>(py.value())});
+    }
+    doc.add(std::move(op));
+  }
+  return doc;
+}
+
+AnnotationPlayer::AnnotationPlayer(const AnnotationDoc& doc, double speed)
+    : speed_(speed > 0 ? speed : 1.0) {
+  timeline_.reserve(doc.ops().size());
+  for (const DrawOp& op : doc.ops()) timeline_.push_back(&op);
+  std::stable_sort(timeline_.begin(), timeline_.end(),
+                   [](const DrawOp* a, const DrawOp* b) { return a->at_ms < b->at_ms; });
+}
+
+std::vector<const DrawOp*> AnnotationPlayer::visible_at(std::int64_t t_ms) const {
+  std::vector<const DrawOp*> out;
+  auto threshold = static_cast<std::int64_t>(static_cast<double>(t_ms) * speed_);
+  for (const DrawOp* op : timeline_) {
+    if (op->at_ms > threshold) break;
+    out.push_back(op);
+  }
+  return out;
+}
+
+std::vector<const DrawOp*> AnnotationPlayer::advance_to(std::int64_t t_ms) {
+  std::vector<const DrawOp*> out;
+  auto threshold = static_cast<std::int64_t>(static_cast<double>(t_ms) * speed_);
+  while (cursor_ < timeline_.size() && timeline_[cursor_]->at_ms <= threshold) {
+    out.push_back(timeline_[cursor_++]);
+  }
+  return out;
+}
+
+std::int64_t AnnotationPlayer::duration_ms() const {
+  if (timeline_.empty()) return 0;
+  return static_cast<std::int64_t>(
+      static_cast<double>(timeline_.back()->at_ms) / speed_);
+}
+
+}  // namespace wdoc::docmodel

@@ -1,0 +1,234 @@
+#include "docmodel/qa_checker.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace wdoc::docmodel {
+
+std::vector<std::string> extract_references(std::string_view html) {
+  std::vector<std::string> refs;
+  auto scan_attr = [&](std::string_view attr) {
+    std::size_t pos = 0;
+    while ((pos = html.find(attr, pos)) != std::string_view::npos) {
+      std::size_t eq = pos + attr.size();
+      // Skip whitespace around '='.
+      while (eq < html.size() && (html[eq] == ' ' || html[eq] == '\t')) ++eq;
+      if (eq >= html.size() || html[eq] != '=') {
+        pos = eq;
+        continue;
+      }
+      ++eq;
+      while (eq < html.size() && (html[eq] == ' ' || html[eq] == '\t')) ++eq;
+      if (eq >= html.size() || (html[eq] != '"' && html[eq] != '\'')) {
+        pos = eq;
+        continue;
+      }
+      char quote = html[eq];
+      std::size_t end = html.find(quote, eq + 1);
+      if (end == std::string_view::npos) break;
+      std::string target(html.substr(eq + 1, end - eq - 1));
+      if (!target.empty()) refs.push_back(std::move(target));
+      pos = end + 1;
+    }
+  };
+  scan_attr("href");
+  scan_attr("src");
+  return refs;
+}
+
+namespace {
+
+bool is_internal(const std::string& url, const std::string& starting_url) {
+  // Internal targets either share the implementation's URL prefix or are
+  // site-relative paths; external http(s) links to other hosts are not this
+  // implementation's responsibility.
+  if (url.rfind(starting_url, 0) == 0) return true;
+  if (url.rfind("http://", 0) == 0 || url.rfind("https://", 0) == 0) return false;
+  if (url.rfind("mailto:", 0) == 0) return false;
+  return true;  // relative link
+}
+
+std::string resolve(const std::string& url, const std::string& starting_url) {
+  if (url.rfind("http://", 0) == 0 || url.rfind("https://", 0) == 0) return url;
+  return starting_url + "/" + url;
+}
+
+}  // namespace
+
+Result<QaFindings> QaChecker::check(const std::string& starting_url) const {
+  auto impl = repo_->get_implementation(starting_url);
+  if (!impl) return impl.error();
+
+  QaFindings findings;
+  findings.starting_url = starting_url;
+
+  auto htmls = repo_->html_files_of(starting_url);
+  if (!htmls) return htmls.error();
+  auto resources = repo_->resources_of("implementation", starting_url);
+  if (!resources) return resources.error();
+
+  if (htmls.value().empty()) {
+    findings.inconsistencies.push_back(
+        "implementation has no HTML files (schema requires at least one)");
+  }
+
+  std::set<std::string> stored_pages;
+  for (const HtmlFileInfo& f : htmls.value()) stored_pages.insert(f.path);
+  // Resources are addressable by digest hex and, for convenience, by a
+  // res:<digest> pseudo-URL.
+  std::set<std::string> stored_resources;
+  for (const ResourceInfo& r : resources.value()) {
+    stored_resources.insert(r.digest_hex);
+    stored_resources.insert("res:" + r.digest_hex);
+  }
+
+  std::set<std::string> referenced;
+  std::set<std::string> seen_links;
+  for (const HtmlFileInfo& f : htmls.value()) {
+    ++findings.pages_checked;
+    std::string_view body(reinterpret_cast<const char*>(f.content.data()),
+                          f.content.size());
+    for (const std::string& raw : extract_references(body)) {
+      ++findings.links_checked;
+      if (!is_internal(raw, starting_url)) continue;
+      std::string target = resolve(raw, starting_url);
+      if (!seen_links.insert(f.path + " -> " + target).second) {
+        findings.inconsistencies.push_back("duplicate reference in " + f.path +
+                                           ": " + raw);
+        continue;
+      }
+      if (raw.rfind("res:", 0) == 0) {
+        if (!stored_resources.contains(raw)) {
+          findings.missing_objects.push_back(raw);
+        } else {
+          referenced.insert(raw.substr(4));
+        }
+        continue;
+      }
+      if (stored_pages.contains(target) || target == starting_url) {
+        referenced.insert(target);
+      } else {
+        findings.bad_urls.push_back(target);
+      }
+    }
+  }
+
+  // Redundant objects: stored but referenced by nothing. The starting page
+  // itself is the entry point and never redundant.
+  for (const HtmlFileInfo& f : htmls.value()) {
+    bool is_entry = f.path == starting_url ||
+                    f.path.find("index") != std::string::npos;
+    if (!is_entry && !referenced.contains(f.path)) {
+      findings.redundant_objects.push_back(f.path);
+    }
+  }
+  for (const ResourceInfo& r : resources.value()) {
+    if (!referenced.contains(r.digest_hex)) {
+      // Resources may legitimately be played by programs rather than pages;
+      // only flag when the implementation has pages that reference nothing.
+      if (findings.links_checked > 0 && !stored_resources.empty() &&
+          referenced.empty()) {
+        findings.redundant_objects.push_back("res:" + r.digest_hex);
+      }
+    }
+  }
+  std::sort(findings.bad_urls.begin(), findings.bad_urls.end());
+  std::sort(findings.redundant_objects.begin(), findings.redundant_objects.end());
+  return findings;
+}
+
+Result<QaFindings> QaChecker::check_traversal(const std::string& starting_url,
+                                              const TraversalLog& log) const {
+  auto impl = repo_->get_implementation(starting_url);
+  if (!impl) return impl.error();
+  auto htmls = repo_->html_files_of(starting_url);
+  if (!htmls) return htmls.error();
+
+  std::set<std::string> stored_pages{starting_url};
+  for (const HtmlFileInfo& f : htmls.value()) stored_pages.insert(f.path);
+
+  QaFindings findings;
+  findings.starting_url = starting_url;
+  findings.pages_checked = stored_pages.size();
+  for (const TraversalEvent& ev : log.events()) {
+    if (ev.kind != TraversalEventKind::navigate || ev.target.empty()) continue;
+    ++findings.links_checked;
+    if (!is_internal(ev.target, starting_url)) continue;
+    std::string target = resolve(ev.target, starting_url);
+    if (!stored_pages.contains(target)) findings.bad_urls.push_back(target);
+  }
+  std::sort(findings.bad_urls.begin(), findings.bad_urls.end());
+  findings.bad_urls.erase(
+      std::unique(findings.bad_urls.begin(), findings.bad_urls.end()),
+      findings.bad_urls.end());
+  return findings;
+}
+
+namespace {
+
+std::string join(const std::vector<std::string>& items) {
+  std::string out;
+  for (const std::string& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<QaFindings> QaChecker::file_report(const std::string& starting_url,
+                                          const std::string& test_name,
+                                          const std::string& qa_engineer,
+                                          std::int64_t now, const TraversalLog* log) {
+  auto findings = check(starting_url);
+  if (!findings) return findings;
+  if (log != nullptr) {
+    auto traversal = check_traversal(starting_url, *log);
+    if (!traversal) return traversal;
+    for (const std::string& url : traversal.value().bad_urls) {
+      if (std::find(findings.value().bad_urls.begin(), findings.value().bad_urls.end(),
+                    url) == findings.value().bad_urls.end()) {
+        findings.value().bad_urls.push_back(url);
+      }
+    }
+  }
+
+  auto impl = repo_->get_implementation(starting_url);
+  if (!impl) return impl.error();
+
+  TestRecordInfo record;
+  record.name = test_name;
+  record.global_scope = false;
+  if (log != nullptr) record.traversal_messages = log->encode();
+  record.script_name = impl.value().script_name;
+  record.starting_url = starting_url;
+  record.created_at = now;
+  WDOC_TRY(repo_->create_test_record(record));
+
+  const QaFindings& f = findings.value();
+  if (!f.clean()) {
+    BugReportInfo bug;
+    bug.name = test_name + "-findings";
+    bug.qa_engineer = qa_engineer;
+    bug.test_procedure =
+        "static reference check over " + std::to_string(f.pages_checked) +
+        " page(s), " + std::to_string(f.links_checked) + " link(s)" +
+        (log != nullptr ? " + traversal replay" : "");
+    bug.bug_description = std::to_string(f.bad_urls.size()) + " bad URL(s), " +
+                          std::to_string(f.missing_objects.size()) +
+                          " missing object(s), " +
+                          std::to_string(f.redundant_objects.size()) +
+                          " redundant object(s)";
+    bug.bad_urls = join(f.bad_urls);
+    bug.missing_objects = join(f.missing_objects);
+    bug.redundant_objects = join(f.redundant_objects);
+    bug.inconsistency = join(f.inconsistencies);
+    bug.test_record_name = test_name;
+    bug.created_at = now;
+    WDOC_TRY(repo_->create_bug_report(bug));
+  }
+  return findings;
+}
+
+}  // namespace wdoc::docmodel

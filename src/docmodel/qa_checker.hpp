@@ -1,0 +1,70 @@
+// QA checker — automated white/black-box testing of a Web document
+// implementation (paper §1: "how do we perform a white box or black box
+// testing of a multimedia presentation are research issues that we have
+// solved partially"; §3 BugReport: "Bad URLs ... Missing objects ...
+// Redundant objects ... Inconsistency").
+//
+// The checker parses href/src references out of the implementation's HTML
+// files and cross-checks them against the stored pages and attached
+// resources:
+//   bad URLs          — internal links that resolve to no stored page;
+//   missing objects   — referenced resources absent from the BLOB store;
+//   redundant objects — stored pages/resources referenced by nothing;
+//   inconsistency     — structural findings (e.g. empty implementation,
+//                       duplicate references to the same target).
+// `file_report` turns the findings into a stored TestRecord + BugReport.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docmodel/repository.hpp"
+#include "docmodel/traversal.hpp"
+
+namespace wdoc::docmodel {
+
+struct QaFindings {
+  std::string starting_url;
+  std::vector<std::string> bad_urls;
+  std::vector<std::string> missing_objects;
+  std::vector<std::string> redundant_objects;
+  std::vector<std::string> inconsistencies;
+  std::size_t pages_checked = 0;
+  std::size_t links_checked = 0;
+
+  [[nodiscard]] bool clean() const {
+    return bad_urls.empty() && missing_objects.empty() &&
+           redundant_objects.empty() && inconsistencies.empty();
+  }
+};
+
+// Extracts href="..." / src="..." targets from an HTML body. Exposed for
+// tests; tolerant of single/double quotes and arbitrary attribute order.
+[[nodiscard]] std::vector<std::string> extract_references(std::string_view html);
+
+class QaChecker {
+ public:
+  explicit QaChecker(Repository& repo) : repo_(&repo) {}
+
+  // Full static check of one implementation.
+  [[nodiscard]] Result<QaFindings> check(const std::string& starting_url) const;
+
+  // Black-box replay check: every URL a traversal log visited must resolve
+  // to a stored page; unreachable ones land in bad_urls.
+  [[nodiscard]] Result<QaFindings> check_traversal(const std::string& starting_url,
+                                                   const TraversalLog& log) const;
+
+  // Runs check(), stores a TestRecord (with the provided traversal log, if
+  // any) and — when findings exist — a BugReport whose columns carry the
+  // findings. Returns the findings.
+  [[nodiscard]] Result<QaFindings> file_report(const std::string& starting_url,
+                                               const std::string& test_name,
+                                               const std::string& qa_engineer,
+                                               std::int64_t now,
+                                               const TraversalLog* log = nullptr);
+
+ private:
+  Repository* repo_;
+};
+
+}  // namespace wdoc::docmodel

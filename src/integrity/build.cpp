@@ -1,0 +1,116 @@
+#include "integrity/build.hpp"
+
+namespace wdoc::integrity {
+
+namespace {
+
+LinkLabel link(const char* label, Multiplicity m) {
+  LinkLabel l;
+  l.label = label;
+  l.multiplicity = m;
+  return l;
+}
+
+}  // namespace
+
+Result<IntegrityDiagram> build_diagram(const docmodel::Repository& repo) {
+  const docmodel::Repository& r = repo;
+  IntegrityDiagram d;
+
+  for (const std::string& dbname : r.list_databases()) {
+    SciRef db{SciKind::database, dbname};
+    d.add_object(db);
+  }
+
+  for (const std::string& script_name : r.list_scripts()) {
+    SciRef script{SciKind::script, script_name};
+    d.add_object(script);
+
+    auto impls = r.implementations_of(script_name);
+    if (!impls) return impls.error();
+    for (const auto& impl : impls.value()) {
+      SciRef iref{SciKind::implementation, impl.starting_url};
+      d.add_object(iref);
+      // "+": a script has one or more implementations (each impl has >=1
+      // HTML file per §3).
+      WDOC_TRY(d.add_link(script, iref, link("implements", Multiplicity::one_or_more)));
+
+      auto htmls = r.html_files_of(impl.starting_url);
+      if (!htmls) return htmls.error();
+      for (const auto& h : htmls.value()) {
+        SciRef href{SciKind::html_file, h.path};
+        d.add_object(href);
+        WDOC_TRY(d.add_link(iref, href, link("html", Multiplicity::one_or_more)));
+      }
+
+      auto progs = r.program_files_of(impl.starting_url);
+      if (!progs) return progs.error();
+      for (const auto& p : progs.value()) {
+        SciRef pref{SciKind::program_file, p.path};
+        d.add_object(pref);
+        WDOC_TRY(d.add_link(iref, pref, link("program", Multiplicity::zero_or_more)));
+      }
+
+      auto res = r.resources_of("implementation", impl.starting_url);
+      if (!res) return res.error();
+      for (const auto& rr : res.value()) {
+        SciRef rref{SciKind::resource, rr.digest_hex};
+        d.add_object(rref);
+        if (!d.has_link(iref, rref)) {
+          WDOC_TRY(d.add_link(iref, rref, link("uses", Multiplicity::zero_or_more)));
+        }
+      }
+
+      auto anns = r.annotations_of(impl.starting_url);
+      if (!anns) return anns.error();
+      for (const std::string& aname : anns.value()) {
+        SciRef aref{SciKind::annotation, aname};
+        d.add_object(aref);
+        WDOC_TRY(d.add_link(iref, aref, link("annotates", Multiplicity::zero_or_more)));
+      }
+    }
+
+    auto script_res = r.resources_of("script", script_name);
+    if (!script_res) return script_res.error();
+    for (const auto& rr : script_res.value()) {
+      SciRef rref{SciKind::resource, rr.digest_hex};
+      d.add_object(rref);
+      if (!d.has_link(script, rref)) {
+        WDOC_TRY(d.add_link(script, rref, link("uses", Multiplicity::zero_or_more)));
+      }
+    }
+
+    auto trs = r.test_records_of_script(script_name);
+    if (!trs) return trs.error();
+    for (const std::string& tname : trs.value()) {
+      SciRef tref{SciKind::test_record, tname};
+      d.add_object(tref);
+      WDOC_TRY(d.add_link(script, tref, link("tested_by", Multiplicity::zero_or_more)));
+
+      auto bugs = r.bug_reports_of(tname);
+      if (!bugs) return bugs.error();
+      for (const std::string& bname : bugs.value()) {
+        SciRef bref{SciKind::bug_report, bname};
+        d.add_object(bref);
+        WDOC_TRY(d.add_link(tref, bref, link("reported", Multiplicity::zero_or_more)));
+      }
+    }
+  }
+
+  // Database -> script membership links.
+  for (const std::string& dbname : r.list_databases()) {
+    auto scripts = r.scripts_of_database(dbname);
+    if (!scripts) return scripts.error();
+    SciRef db{SciKind::database, dbname};
+    for (const std::string& sname : scripts.value()) {
+      SciRef script{SciKind::script, sname};
+      if (d.has_object(script)) {
+        WDOC_TRY(d.add_link(db, script, link("contains", Multiplicity::zero_or_more)));
+      }
+    }
+  }
+
+  return d;
+}
+
+}  // namespace wdoc::integrity

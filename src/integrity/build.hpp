@@ -1,0 +1,14 @@
+// Builds the standard referential-integrity diagram for everything stored in
+// a Repository, using the link structure of paper §3: a script update alerts
+// its implementations, which further alert "one or more HTML programs, zero
+// or more multimedia resources, and some control programs".
+#pragma once
+
+#include "docmodel/repository.hpp"
+#include "integrity/diagram.hpp"
+
+namespace wdoc::integrity {
+
+[[nodiscard]] Result<IntegrityDiagram> build_diagram(const docmodel::Repository& repo);
+
+}  // namespace wdoc::integrity

@@ -1,0 +1,327 @@
+#include "library/virtual_library.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "storage/database.hpp"
+
+namespace wdoc::library {
+
+namespace {
+
+constexpr const char* kEntryTable = "wd_library_entry";
+constexpr const char* kLoanTable = "wd_library_loan";
+
+storage::Schema entry_schema() {
+  using storage::Column;
+  using storage::ValueType;
+  return storage::Schema(kEntryTable,
+                         {Column{"course_number", ValueType::text, false, false, false},
+                          Column{"title", ValueType::text},
+                          Column{"instructor", ValueType::text, true, false, true},
+                          Column{"keywords", ValueType::text},
+                          Column{"script_name", ValueType::text},
+                          Column{"starting_url", ValueType::text},
+                          Column{"added_at", ValueType::integer}},
+                         /*primary_key=*/"course_number");
+}
+
+storage::Schema loan_schema() {
+  using storage::Column;
+  using storage::ValueType;
+  return storage::Schema(kLoanTable,
+                         {Column{"course_number", ValueType::text, false, false, true},
+                          Column{"student", ValueType::integer, false, false, true},
+                          Column{"checked_out_at", ValueType::integer, false},
+                          Column{"checked_in_at", ValueType::integer}});
+}
+
+std::string join_keywords(const std::vector<std::string>& kws) {
+  std::string out;
+  for (const std::string& kw : kws) {
+    if (!out.empty()) out += ",";
+    out += kw;
+  }
+  return out;
+}
+
+std::vector<std::string> split_keywords(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      cur.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!cur.empty()) {
+      tokens.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) tokens.push_back(std::move(cur));
+  return tokens;
+}
+
+void VirtualLibrary::index_entry(const LibraryEntry& entry) {
+  auto add_tokens = [&](const std::string& text) {
+    for (const std::string& tok : tokenize(text)) {
+      ++keyword_index_[tok][entry.course_number];
+    }
+  };
+  add_tokens(entry.title);
+  for (const std::string& kw : entry.keywords) add_tokens(kw);
+  instructor_index_[entry.instructor].insert(entry.course_number);
+}
+
+void VirtualLibrary::unindex_entry(const LibraryEntry& entry) {
+  auto drop_tokens = [&](const std::string& text) {
+    for (const std::string& tok : tokenize(text)) {
+      auto it = keyword_index_.find(tok);
+      if (it == keyword_index_.end()) continue;
+      auto cit = it->second.find(entry.course_number);
+      if (cit == it->second.end()) continue;
+      if (--cit->second == 0) it->second.erase(cit);
+      if (it->second.empty()) keyword_index_.erase(it);
+    }
+  };
+  drop_tokens(entry.title);
+  for (const std::string& kw : entry.keywords) drop_tokens(kw);
+  auto iit = instructor_index_.find(entry.instructor);
+  if (iit != instructor_index_.end()) {
+    iit->second.erase(entry.course_number);
+    if (iit->second.empty()) instructor_index_.erase(iit);
+  }
+}
+
+Status VirtualLibrary::add_entry(const LibraryEntry& entry) {
+  if (entry.course_number.empty()) {
+    return {Errc::invalid_argument, "empty course number"};
+  }
+  if (entries_.contains(entry.course_number)) {
+    return {Errc::already_exists, "course exists: " + entry.course_number};
+  }
+  entries_.emplace(entry.course_number, entry);
+  index_entry(entry);
+  return Status::ok();
+}
+
+Status VirtualLibrary::remove_entry(const std::string& course_number) {
+  auto it = entries_.find(course_number);
+  if (it == entries_.end()) return {Errc::not_found, "no course: " + course_number};
+  // Outstanding loans keep their ledger rows; the entry disappears.
+  unindex_entry(it->second);
+  entries_.erase(it);
+  return Status::ok();
+}
+
+Result<LibraryEntry> VirtualLibrary::get(const std::string& course_number) const {
+  auto it = entries_.find(course_number);
+  if (it == entries_.end()) return Error{Errc::not_found, "no course: " + course_number};
+  return it->second;
+}
+
+std::vector<SearchHit> VirtualLibrary::search_keywords(const std::string& query) const {
+  std::map<std::string, double> scores;
+  for (const std::string& tok : tokenize(query)) {
+    auto it = keyword_index_.find(tok);
+    if (it == keyword_index_.end()) continue;
+    for (const auto& [course, tf] : it->second) {
+      scores[course] += 1.0 + 0.1 * static_cast<double>(tf - 1);
+    }
+  }
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (const auto& [course, score] : scores) hits.push_back(SearchHit{course, score});
+  std::stable_sort(hits.begin(), hits.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.course_number < b.course_number;
+  });
+  return hits;
+}
+
+std::vector<LibraryEntry> VirtualLibrary::by_instructor(const std::string& name) const {
+  std::vector<LibraryEntry> out;
+  auto it = instructor_index_.find(name);
+  if (it == instructor_index_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& course : it->second) {
+    out.push_back(entries_.at(course));
+  }
+  return out;
+}
+
+std::optional<LibraryEntry> VirtualLibrary::by_course_number(
+    const std::string& course_number) const {
+  auto it = entries_.find(course_number);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<SearchHit> VirtualLibrary::search(const std::string& query) const {
+  std::vector<SearchHit> hits = search_keywords(query);
+  std::map<std::string, double> scores;
+  for (const SearchHit& h : hits) scores[h.course_number] = h.score;
+  // Exact course-number match dominates.
+  if (entries_.contains(query)) scores[query] += 100.0;
+  // Instructor-name match ranks above plain keyword hits.
+  if (auto it = instructor_index_.find(query); it != instructor_index_.end()) {
+    for (const std::string& course : it->second) scores[course] += 10.0;
+  }
+  std::vector<SearchHit> out;
+  out.reserve(scores.size());
+  for (const auto& [course, score] : scores) out.push_back(SearchHit{course, score});
+  std::stable_sort(out.begin(), out.end(), [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.course_number < b.course_number;
+  });
+  return out;
+}
+
+Status VirtualLibrary::check_out(const std::string& course_number, UserId student,
+                                 std::int64_t now) {
+  if (!entries_.contains(course_number)) {
+    return {Errc::not_found, "no course: " + course_number};
+  }
+  auto key = std::make_pair(course_number, student.value());
+  if (open_loans_.contains(key)) {
+    return {Errc::already_exists, "already checked out"};
+  }
+  open_loans_.emplace(std::move(key), ledger_.size());
+  ledger_.push_back(LedgerRecord{course_number, student, now, std::nullopt});
+  return Status::ok();
+}
+
+Status VirtualLibrary::check_in(const std::string& course_number, UserId student,
+                                std::int64_t now) {
+  auto it = open_loans_.find(std::make_pair(course_number, student.value()));
+  if (it == open_loans_.end()) {
+    return {Errc::not_found, "no open loan for this course/student"};
+  }
+  LedgerRecord& record = ledger_[it->second];
+  if (now < record.checked_out_at) {
+    return {Errc::invalid_argument, "check-in before check-out"};
+  }
+  record.checked_in_at = now;
+  open_loans_.erase(it);
+  return Status::ok();
+}
+
+std::vector<LedgerRecord> VirtualLibrary::ledger_of(UserId student) const {
+  std::vector<LedgerRecord> out;
+  for (const LedgerRecord& r : ledger_) {
+    if (r.student == student) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<UserId> VirtualLibrary::holders_of(const std::string& course_number) const {
+  std::vector<UserId> out;
+  for (auto it = open_loans_.lower_bound(std::make_pair(course_number, std::uint64_t{0}));
+       it != open_loans_.end() && it->first.first == course_number; ++it) {
+    out.push_back(UserId{it->first.second});
+  }
+  return out;
+}
+
+Status VirtualLibrary::save(storage::Database& db) const {
+  using storage::Value;
+  // Replace-all semantics: drop and recreate both tables.
+  if (db.catalog().has_table(kLoanTable)) WDOC_TRY(db.drop_table(kLoanTable));
+  if (db.catalog().has_table(kEntryTable)) WDOC_TRY(db.drop_table(kEntryTable));
+  WDOC_TRY(db.create_table(entry_schema()));
+  WDOC_TRY(db.create_table(loan_schema()));
+  for (const auto& [_, e] : entries_) {
+    WDOC_TRY(db.insert(kEntryTable,
+                       {Value(e.course_number), Value(e.title), Value(e.instructor),
+                        Value(join_keywords(e.keywords)), Value(e.script_name),
+                        Value(e.starting_url), Value(e.added_at)})
+                 .status());
+  }
+  for (const LedgerRecord& r : ledger_) {
+    WDOC_TRY(db.insert(kLoanTable,
+                       {Value(r.course_number),
+                        Value(static_cast<std::int64_t>(r.student.value())),
+                        Value(r.checked_out_at),
+                        r.checked_in_at ? Value(*r.checked_in_at) : Value::null()})
+                 .status());
+  }
+  return Status::ok();
+}
+
+Status VirtualLibrary::load(storage::Database& db) {
+  const storage::Table* entries = db.catalog().table(kEntryTable);
+  if (entries == nullptr) return {Errc::not_found, "no saved library"};
+  entries_.clear();
+  keyword_index_.clear();
+  instructor_index_.clear();
+  ledger_.clear();
+  open_loans_.clear();
+
+  Status failed = Status::ok();
+  entries->scan([&](RowId, const std::vector<storage::Value>& row) {
+    LibraryEntry e;
+    e.course_number = row[0].as_text();
+    e.title = row[1].is_null() ? "" : row[1].as_text();
+    e.instructor = row[2].is_null() ? "" : row[2].as_text();
+    e.keywords = split_keywords(row[3].is_null() ? "" : row[3].as_text());
+    e.script_name = row[4].is_null() ? "" : row[4].as_text();
+    e.starting_url = row[5].is_null() ? "" : row[5].as_text();
+    e.added_at = row[6].is_null() ? 0 : row[6].as_int();
+    Status s = add_entry(e);
+    if (!s.is_ok()) failed = s;
+    return failed.is_ok();
+  });
+  WDOC_TRY(failed);
+
+  if (const storage::Table* loans = db.catalog().table(kLoanTable)) {
+    loans->scan([&](RowId, const std::vector<storage::Value>& row) {
+      LedgerRecord r;
+      r.course_number = row[0].as_text();
+      r.student = UserId{static_cast<std::uint64_t>(row[1].as_int())};
+      r.checked_out_at = row[2].as_int();
+      if (!row[3].is_null()) r.checked_in_at = row[3].as_int();
+      if (!r.checked_in_at) {
+        open_loans_.emplace(std::make_pair(r.course_number, r.student.value()),
+                            ledger_.size());
+      }
+      ledger_.push_back(std::move(r));
+      return true;
+    });
+  }
+  return Status::ok();
+}
+
+AssessmentReport VirtualLibrary::assess(UserId student) const {
+  AssessmentReport report;
+  report.student = student;
+  std::set<std::string> distinct;
+  for (const LedgerRecord& r : ledger_) {
+    if (r.student != student) continue;
+    ++report.total_checkouts;
+    distinct.insert(r.course_number);
+    if (r.checked_in_at) {
+      report.total_borrow_micros += *r.checked_in_at - r.checked_out_at;
+    } else {
+      ++report.still_out;
+    }
+  }
+  report.distinct_courses = distinct.size();
+  return report;
+}
+
+}  // namespace wdoc::library

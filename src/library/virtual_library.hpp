@@ -1,0 +1,110 @@
+// The Web document virtual library (paper §5).
+//
+// Instructors add/delete document instances (lecture notes); students check
+// pages out and in, with no limit on concurrent check-outs; "the check
+// in/out procedure serves as an assessment criteria to the study
+// performance of a student". Retrieval is "according to matching keywords,
+// instructor names, and course numbers/titles" — implemented with an
+// inverted keyword index plus instructor and course-number maps.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+
+namespace wdoc::storage {
+class Database;
+}
+
+namespace wdoc::library {
+
+struct LibraryEntry {
+  std::string course_number;  // unique key, e.g. "CS101"
+  std::string title;
+  std::string instructor;
+  std::vector<std::string> keywords;
+  std::string script_name;    // link into the document database
+  std::string starting_url;   // link to the implementation
+  std::int64_t added_at = 0;
+};
+
+struct SearchHit {
+  std::string course_number;
+  double score = 0.0;  // matched query tokens (tf-weighted)
+};
+
+struct LedgerRecord {
+  std::string course_number;
+  UserId student;
+  std::int64_t checked_out_at = 0;
+  std::optional<std::int64_t> checked_in_at;  // empty while still out
+};
+
+struct AssessmentReport {
+  UserId student;
+  std::uint64_t total_checkouts = 0;
+  std::uint64_t distinct_courses = 0;
+  std::uint64_t still_out = 0;
+  std::int64_t total_borrow_micros = 0;  // completed loans only
+};
+
+// Lowercased alphanumeric tokens of `text`.
+[[nodiscard]] std::vector<std::string> tokenize(const std::string& text);
+
+class VirtualLibrary {
+ public:
+  // --- instructor operations --------------------------------------------
+  [[nodiscard]] Status add_entry(const LibraryEntry& entry);
+  [[nodiscard]] Status remove_entry(const std::string& course_number);
+  [[nodiscard]] Result<LibraryEntry> get(const std::string& course_number) const;
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+
+  // --- retrieval ---------------------------------------------------------
+  // Ranked multi-token keyword search over title + keywords.
+  [[nodiscard]] std::vector<SearchHit> search_keywords(const std::string& query) const;
+  [[nodiscard]] std::vector<LibraryEntry> by_instructor(const std::string& name) const;
+  [[nodiscard]] std::optional<LibraryEntry> by_course_number(
+      const std::string& course_number) const;
+  // Union of all three retrieval modes, ranked.
+  [[nodiscard]] std::vector<SearchHit> search(const std::string& query) const;
+
+  // --- check-out / check-in ledger ----------------------------------------
+  // "In general, there is no limitation of the number of Web pages to be
+  // checked out" — the same student may hold many courses; re-checking-out
+  // a course already held is rejected.
+  [[nodiscard]] Status check_out(const std::string& course_number, UserId student,
+                                 std::int64_t now);
+  [[nodiscard]] Status check_in(const std::string& course_number, UserId student,
+                                std::int64_t now);
+  [[nodiscard]] std::vector<LedgerRecord> ledger_of(UserId student) const;
+  [[nodiscard]] std::vector<UserId> holders_of(const std::string& course_number) const;
+  [[nodiscard]] AssessmentReport assess(UserId student) const;
+
+  // --- persistence ----------------------------------------------------------
+  // Mirrors the catalog and the full ledger into two relational tables
+  // (`wd_library_entry`, `wd_library_loan`), replacing prior contents; load
+  // rebuilds the in-memory indexes. Library state thus survives a durable
+  // Database restart alongside the document tables.
+  [[nodiscard]] Status save(storage::Database& db) const;
+  [[nodiscard]] Status load(storage::Database& db);
+
+ private:
+  void index_entry(const LibraryEntry& entry);
+  void unindex_entry(const LibraryEntry& entry);
+
+  std::map<std::string, LibraryEntry> entries_;
+  std::map<std::string, std::map<std::string, std::uint32_t>> keyword_index_;  // token -> course -> tf
+  std::map<std::string, std::set<std::string>> instructor_index_;
+  std::vector<LedgerRecord> ledger_;
+  // (course, student id) -> index of the open ledger row; keeps check-out /
+  // check-in O(log n) instead of scanning the full history.
+  std::map<std::pair<std::string, std::uint64_t>, std::size_t> open_loans_;
+};
+
+}  // namespace wdoc::library

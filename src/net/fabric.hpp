@@ -1,0 +1,34 @@
+// Fabric: the transport abstraction the distribution layer runs on.
+//
+// Two implementations exist: SimNetwork (deterministic discrete-event
+// simulation with bandwidth/latency modelling — used by every experiment)
+// and ThreadTransport (real threads and queues — used by the live examples
+// to show the same protocol code off the simulator).
+#pragma once
+
+#include <functional>
+
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+#include "net/message.hpp"
+
+namespace wdoc::net {
+
+using MessageHandler = std::function<void(const Message&)>;
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  // Asynchronous send; delivery invokes the receiver's handler. Returns an
+  // error only for immediately-detectable failures (unknown station).
+  [[nodiscard]] virtual Status send(Message msg) = 0;
+
+  virtual void set_handler(StationId station, MessageHandler handler) = 0;
+
+  // Current time: simulated for SimNetwork, wall-clock-since-start for
+  // ThreadTransport.
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+}  // namespace wdoc::net

@@ -1,0 +1,30 @@
+// Messages exchanged between stations, over either the discrete-event
+// simulator or the in-process threaded transport.
+//
+// `wire_size` is what the network charges for the message; simulations send
+// multi-megabyte lectures as declared sizes with small payloads, while the
+// threaded transport carries real payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/ids.hpp"
+#include "common/serialize.hpp"
+
+namespace wdoc::net {
+
+struct Message {
+  StationId from;
+  StationId to;
+  std::string type;       // protocol discriminator, e.g. "dist.push"
+  Bytes payload;          // protocol-defined body
+  std::uint64_t wire_size = 0;  // bytes charged on the wire (0 -> payload size)
+  std::uint64_t seq = 0;  // assigned by the fabric
+
+  [[nodiscard]] std::uint64_t charged_size() const {
+    return wire_size != 0 ? wire_size : payload.size() + 64;  // 64 B header
+  }
+};
+
+}  // namespace wdoc::net

@@ -1,0 +1,157 @@
+#include "net/sim_network.hpp"
+
+namespace wdoc::net {
+
+StationId SimNetwork::add_station(const StationLink& link) {
+  StationId id = station_ids_.next();
+  Station s;
+  s.link = link;
+  stations_.emplace(id, std::move(s));
+  return id;
+}
+
+void SimNetwork::set_handler(StationId station, MessageHandler handler) {
+  auto it = stations_.find(station);
+  WDOC_CHECK(it != stations_.end(), "set_handler on unknown station");
+  it->second.handler = std::move(handler);
+}
+
+Status SimNetwork::set_link(StationId id, const StationLink& link) {
+  auto it = stations_.find(id);
+  if (it == stations_.end()) return {Errc::not_found, "no such station"};
+  it->second.link = link;
+  return Status::ok();
+}
+
+Result<StationLink> SimNetwork::link_of(StationId id) const {
+  auto it = stations_.find(id);
+  if (it == stations_.end()) return Error{Errc::not_found, "no such station"};
+  return it->second.link;
+}
+
+Status SimNetwork::set_online(StationId id, bool online) {
+  auto it = stations_.find(id);
+  if (it == stations_.end()) return {Errc::not_found, "no such station"};
+  it->second.online = online;
+  return Status::ok();
+}
+
+Status SimNetwork::set_pair_latency(StationId a, StationId b, SimTime latency) {
+  if (!stations_.contains(a) || !stations_.contains(b)) {
+    return {Errc::not_found, "no such station"};
+  }
+  if (b < a) std::swap(a, b);
+  pair_latency_[{a, b}] = latency;
+  return Status::ok();
+}
+
+SimTime SimNetwork::transfer_time(std::uint64_t bytes, double bps) {
+  if (bps <= 0) return SimTime::seconds(3600);  // effectively stalled
+  return SimTime::seconds(static_cast<double>(bytes) * 8.0 / bps);
+}
+
+Status SimNetwork::send(Message msg) {
+  auto from_it = stations_.find(msg.from);
+  if (from_it == stations_.end()) return {Errc::not_found, "unknown sender"};
+  auto to_it = stations_.find(msg.to);
+  if (to_it == stations_.end()) return {Errc::not_found, "unknown receiver"};
+  Station& from = from_it->second;
+  Station& to = to_it->second;
+
+  const std::uint64_t size = msg.charged_size();
+  msg.seq = ++msg_seq_;
+  from.stats.messages_sent++;
+  from.stats.bytes_sent += size;
+  total_bytes_ += size;
+  total_messages_++;
+
+  if (!from.online || !to.online ||
+      (from.link.loss_rate > 0 && rng_.bernoulli(from.link.loss_rate)) ||
+      (to.link.loss_rate > 0 && rng_.bernoulli(to.link.loss_rate))) {
+    from.stats.messages_dropped++;
+    return Status::ok();  // silently lost, like the real thing
+  }
+
+  // Uplink serialization (FIFO behind this sender's earlier messages).
+  SimTime depart = std::max(now_, from.up_busy_until) + transfer_time(size, from.link.up_bps);
+  from.up_busy_until = depart;
+  // Propagation: a per-pair override wins; otherwise the two stations'
+  // to-core latencies add. Jitter adds a uniform sample from each side.
+  SimTime propagation = from.link.latency + to.link.latency;
+  {
+    StationId lo = msg.from, hi = msg.to;
+    if (hi < lo) std::swap(lo, hi);
+    auto pit = pair_latency_.find({lo, hi});
+    if (pit != pair_latency_.end()) propagation = pit->second;
+  }
+  for (const StationLink* link : {&from.link, &to.link}) {
+    if (link->jitter_max > SimTime::zero()) {
+      propagation += SimTime::micros(static_cast<std::int64_t>(
+          rng_.uniform(static_cast<std::uint64_t>(link->jitter_max.as_micros()) + 1)));
+    }
+  }
+  SimTime arrive = depart + propagation;
+  // Downlink serialization.
+  SimTime done = std::max(arrive, to.down_busy_until) + transfer_time(size, to.link.down_bps);
+  to.down_busy_until = done;
+
+  StationId to_id = msg.to;
+  schedule_at(done, [this, to_id, m = std::move(msg), size]() {
+    auto it = stations_.find(to_id);
+    if (it == stations_.end() || !it->second.online) return;
+    it->second.stats.messages_received++;
+    it->second.stats.bytes_received += size;
+    if (it->second.handler) it->second.handler(m);
+  });
+  return Status::ok();
+}
+
+void SimNetwork::schedule_at(SimTime at, std::function<void()> fn) {
+  WDOC_CHECK(at >= now_, "schedule_at in the past");
+  events_.push(Event{at, ++event_seq_, std::move(fn)});
+}
+
+void SimNetwork::schedule_after(SimTime delta, std::function<void()> fn) {
+  schedule_at(now_ + delta, std::move(fn));
+}
+
+bool SimNetwork::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is the standard
+  // idiom for move-only payloads, but copying the function is fine here.
+  Event ev = events_.top();
+  events_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+std::size_t SimNetwork::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t SimNetwork::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!events_.empty() && events_.top().at <= t) {
+    step();
+    ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+const StationStats& SimNetwork::stats(StationId id) const {
+  auto it = stations_.find(id);
+  WDOC_CHECK(it != stations_.end(), "stats for unknown station");
+  return it->second.stats;
+}
+
+void SimNetwork::reset_stats() {
+  for (auto& [_, s] : stations_) s.stats = StationStats{};
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
+}  // namespace wdoc::net

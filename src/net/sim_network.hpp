@@ -1,0 +1,116 @@
+// Deterministic discrete-event network simulator.
+//
+// Each station owns an uplink and a downlink with finite bandwidth; a
+// message first serializes on the sender's uplink (FIFO behind earlier
+// sends), propagates with the pair's latency, then serializes on the
+// receiver's downlink. This makes the economics of the paper's m-ary
+// distribution tree visible: a star broadcast serializes N copies through
+// one uplink, the tree spreads them across many.
+//
+// Determinism: same seed + same call sequence -> identical delivery order;
+// ties in time break by event sequence number.
+#pragma once
+
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace wdoc::net {
+
+struct StationLink {
+  double up_bps = 10e6;    // uplink bandwidth, bits/second
+  double down_bps = 10e6;  // downlink bandwidth, bits/second
+  SimTime latency = SimTime::millis(20);  // one-way to the "Internet core"
+  double loss_rate = 0.0;  // per-message drop probability
+  SimTime jitter_max = SimTime::zero();  // uniform extra delay in [0, jitter_max]
+};
+
+struct StationStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages_dropped = 0;
+};
+
+class SimNetwork final : public Fabric {
+ public:
+  explicit SimNetwork(std::uint64_t seed = 42) : rng_(seed) {}
+
+  // --- topology ----------------------------------------------------------
+  [[nodiscard]] StationId add_station(const StationLink& link = {});
+  void set_handler(StationId station, MessageHandler handler) override;
+  [[nodiscard]] bool has_station(StationId id) const { return stations_.contains(id); }
+  [[nodiscard]] std::size_t station_count() const { return stations_.size(); }
+
+  // Change link properties mid-run (experiment E10: drifting bandwidth).
+  [[nodiscard]] Status set_link(StationId id, const StationLink& link);
+  [[nodiscard]] Result<StationLink> link_of(StationId id) const;
+  [[nodiscard]] Status set_online(StationId id, bool online);
+  // Overrides the end-to-end propagation latency for one station pair
+  // (symmetric), replacing the sum of the two per-station latencies — e.g.
+  // two stations on the same LAN vs an overseas partner university.
+  [[nodiscard]] Status set_pair_latency(StationId a, StationId b, SimTime latency);
+
+  // --- traffic ------------------------------------------------------------
+  [[nodiscard]] Status send(Message msg) override;
+  [[nodiscard]] SimTime now() const override { return now_; }
+
+  // Schedule arbitrary simulation work (timers, lecture playout deadlines).
+  void schedule_at(SimTime at, std::function<void()> fn);
+  void schedule_after(SimTime delta, std::function<void()> fn);
+
+  // --- execution --------------------------------------------------------
+  // Runs one event; false when the queue is empty.
+  bool step();
+  // Runs to quiescence; returns events processed.
+  std::size_t run();
+  // Runs events with time <= t (and advances now_ to t).
+  std::size_t run_until(SimTime t);
+
+  // --- stats --------------------------------------------------------------
+  [[nodiscard]] const StationStats& stats(StationId id) const;
+  [[nodiscard]] std::uint64_t total_bytes_on_wire() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
+  void reset_stats();
+
+ private:
+  struct Station {
+    StationLink link;
+    MessageHandler handler;
+    StationStats stats;
+    SimTime up_busy_until = SimTime::zero();
+    SimTime down_busy_until = SimTime::zero();
+    bool online = true;
+  };
+
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  [[nodiscard]] static SimTime transfer_time(std::uint64_t bytes, double bps);
+
+  std::map<StationId, Station> stations_;
+  std::map<std::pair<StationId, StationId>, SimTime> pair_latency_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  IdAllocator<StationId> station_ids_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t event_seq_ = 0;
+  std::uint64_t msg_seq_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  Rng rng_;
+};
+
+}  // namespace wdoc::net

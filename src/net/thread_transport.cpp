@@ -1,0 +1,109 @@
+#include "net/thread_transport.hpp"
+
+namespace wdoc::net {
+
+ThreadTransport::ThreadTransport() : start_(std::chrono::steady_clock::now()) {}
+
+ThreadTransport::~ThreadTransport() { shutdown(); }
+
+StationId ThreadTransport::add_station(MessageHandler handler) {
+  std::lock_guard<std::mutex> g(mu_);
+  StationId id = ids_.next();
+  auto box = std::make_unique<Mailbox>();
+  box->handler = std::move(handler);
+  Mailbox* raw = box.get();
+  box->worker = std::thread([this, raw] { worker_loop(raw); });
+  stations_.emplace(id, std::move(box));
+  return id;
+}
+
+void ThreadTransport::set_handler(StationId station, MessageHandler handler) {
+  std::unique_lock<std::mutex> g(mu_);
+  auto it = stations_.find(station);
+  WDOC_CHECK(it != stations_.end(), "set_handler on unknown station");
+  Mailbox* box = it->second.get();
+  g.unlock();
+  std::lock_guard<std::mutex> bg(box->mu);
+  box->handler = std::move(handler);
+}
+
+Status ThreadTransport::send(Message msg) {
+  Mailbox* box = nullptr;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = stations_.find(msg.to);
+    if (it == stations_.end()) return {Errc::not_found, "unknown receiver"};
+    box = it->second.get();
+  }
+  msg.seq = ++seq_;
+  {
+    std::lock_guard<std::mutex> bg(box->mu);
+    box->queue.push_back(std::move(msg));
+  }
+  box->cv.notify_one();
+  return Status::ok();
+}
+
+SimTime ThreadTransport::now() const {
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  return SimTime::micros(us);
+}
+
+void ThreadTransport::worker_loop(Mailbox* box) {
+  for (;;) {
+    Message msg;
+    MessageHandler handler;
+    {
+      std::unique_lock<std::mutex> g(box->mu);
+      box->cv.wait(g, [&] { return !box->queue.empty() || !running_.load(); });
+      if (box->queue.empty()) return;  // shutdown with empty queue
+      msg = std::move(box->queue.front());
+      box->queue.pop_front();
+      handler = box->handler;
+      box->busy = true;
+    }
+    if (handler) handler(msg);
+    delivered_.fetch_add(1);
+    {
+      std::lock_guard<std::mutex> g(box->mu);
+      box->busy = false;
+    }
+    box->cv.notify_all();
+  }
+}
+
+bool ThreadTransport::quiesce(std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool idle = true;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      for (const auto& [_, box] : stations_) {
+        std::lock_guard<std::mutex> bg(box->mu);
+        if (!box->queue.empty() || box->busy) {
+          idle = false;
+          break;
+        }
+      }
+    }
+    if (idle) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void ThreadTransport::shutdown() {
+  bool was_running = running_.exchange(false);
+  if (!was_running) return;
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [_, box] : stations_) {
+    box->cv.notify_all();
+  }
+  for (auto& [_, box] : stations_) {
+    if (box->worker.joinable()) box->worker.join();
+  }
+}
+
+}  // namespace wdoc::net

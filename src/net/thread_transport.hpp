@@ -1,0 +1,64 @@
+// In-process threaded transport: each station gets a worker thread draining
+// a FIFO mailbox. Used by the live examples to run the same distribution
+// protocol code that the experiments run on the simulator.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "net/fabric.hpp"
+
+namespace wdoc::net {
+
+class ThreadTransport final : public Fabric {
+ public:
+  ThreadTransport();
+  ~ThreadTransport() override;
+  ThreadTransport(const ThreadTransport&) = delete;
+  ThreadTransport& operator=(const ThreadTransport&) = delete;
+
+  // Registers a station; its handler runs on a dedicated worker thread.
+  [[nodiscard]] StationId add_station(MessageHandler handler);
+  void set_handler(StationId station, MessageHandler handler) override;
+
+  [[nodiscard]] Status send(Message msg) override;
+  [[nodiscard]] SimTime now() const override;
+
+  // Blocks until every mailbox is empty and every worker idle (bounded by
+  // `timeout`). Returns false on timeout.
+  [[nodiscard]] bool quiesce(std::chrono::milliseconds timeout =
+                                 std::chrono::milliseconds(5000));
+
+  // Stops all workers (drains nothing further). Idempotent.
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_.load(); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    MessageHandler handler;
+    std::thread worker;
+    bool busy = false;
+  };
+
+  void worker_loop(Mailbox* box);
+
+  mutable std::mutex mu_;
+  std::map<StationId, std::unique_ptr<Mailbox>> stations_;
+  IdAllocator<StationId> ids_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> seq_{0};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace wdoc::net

@@ -1,0 +1,233 @@
+#include "storage/catalog.hpp"
+
+#include <algorithm>
+
+namespace wdoc::storage {
+
+Status Catalog::create_table(Schema schema) {
+  // Copy, not reference: `schema` is moved below and argument evaluation
+  // order in emplace() is unspecified.
+  const std::string name = schema.table_name();
+  if (name.empty()) return {Errc::invalid_argument, "empty table name"};
+  if (tables_.contains(name)) return {Errc::already_exists, "table exists: " + name};
+  // Validate FK targets.
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    if (schema.column_index(fk.column) == std::nullopt) {
+      return {Errc::invalid_argument, name + ": FK column missing: " + fk.column};
+    }
+    const Table* parent = table(fk.parent_table);
+    // Self-references are allowed (parent == this table, not yet created).
+    const Schema* pschema = parent != nullptr ? &parent->schema()
+                            : (fk.parent_table == name ? &schema : nullptr);
+    if (pschema == nullptr) {
+      return {Errc::invalid_argument, name + ": FK parent table missing: " + fk.parent_table};
+    }
+    auto pc = pschema->column_index(fk.parent_column);
+    if (!pc) {
+      return {Errc::invalid_argument,
+              name + ": FK parent column missing: " + fk.parent_column};
+    }
+    if (!pschema->column(*pc).unique) {
+      return {Errc::invalid_argument,
+              name + ": FK parent column not unique: " + fk.parent_column};
+    }
+  }
+  for (const ForeignKey& fk : schema.foreign_keys()) {
+    incoming_[fk.parent_table].push_back(
+        IncomingRef{name, fk.column, fk.parent_column, fk.on_delete});
+  }
+  tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return Status::ok();
+}
+
+Status Catalog::drop_table(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return {Errc::not_found, "no table: " + name};
+  if (const auto* refs = incoming(name); refs != nullptr && !refs->empty()) {
+    for (const IncomingRef& r : *refs) {
+      if (r.child_table != name) {
+        return {Errc::constraint_violation,
+                name + ": referenced by " + r.child_table + "." + r.child_column};
+      }
+    }
+  }
+  // Remove FK edges this table contributed.
+  for (auto& [parent, refs] : incoming_) {
+    refs.erase(std::remove_if(refs.begin(), refs.end(),
+                              [&](const IncomingRef& r) { return r.child_table == name; }),
+               refs.end());
+  }
+  incoming_.erase(name);
+  tables_.erase(it);
+  return Status::ok();
+}
+
+Table* Catalog::table(const std::string& name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+bool Catalog::has_table(const std::string& name) const { return tables_.contains(name); }
+
+std::vector<std::string> Catalog::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Catalog::check_outgoing_fks(const Table& t, const std::vector<Value>& row) const {
+  for (const ForeignKey& fk : t.schema().foreign_keys()) {
+    auto ci = t.schema().column_index(fk.column);
+    const Value& v = row[*ci];
+    if (v.is_null()) continue;
+    const Table* parent = table(fk.parent_table);
+    WDOC_CHECK(parent != nullptr, "FK parent vanished: " + fk.parent_table);
+    if (!parent->find_unique(fk.parent_column, v)) {
+      return {Errc::constraint_violation,
+              t.name() + "." + fk.column + " -> " + fk.parent_table + "." +
+                  fk.parent_column + ": no parent row " + v.to_string()};
+    }
+  }
+  return Status::ok();
+}
+
+void Catalog::notify(MutationSink* sink, Mutation m) const {
+  MutationSink* effective = sink != nullptr ? sink : default_sink_;
+  if (effective != nullptr) effective->on_mutation(m);
+}
+
+Result<RowId> Catalog::insert(const std::string& tname, std::vector<Value> row,
+                              MutationSink* sink) {
+  Table* t = table(tname);
+  if (t == nullptr) return Error{Errc::not_found, "no table: " + tname};
+  WDOC_TRY(t->schema().validate_row(row));
+  WDOC_TRY(check_outgoing_fks(*t, row));
+  std::vector<Value> copy = row;
+  auto id = t->insert(std::move(row));
+  if (id) {
+    notify(sink, Mutation{MutationKind::insert, tname, id.value(), {}, std::move(copy)});
+  }
+  return id;
+}
+
+Status Catalog::check_not_referenced_changed(const Table& t, RowId id,
+                                             const std::vector<Value>& next) const {
+  const auto* refs = incoming(t.name());
+  if (refs == nullptr) return Status::ok();
+  const auto* cur = t.get(id);
+  WDOC_CHECK(cur != nullptr, "update of dead row");
+  for (const IncomingRef& r : *refs) {
+    auto pc = t.schema().column_index(r.parent_column);
+    if ((*cur)[*pc] == next[*pc]) continue;  // key unchanged
+    const Table* child = table(r.child_table);
+    WDOC_CHECK(child != nullptr, "FK child vanished");
+    if (!child->find_equal(r.child_column, (*cur)[*pc]).empty()) {
+      return {Errc::constraint_violation,
+              t.name() + "." + r.parent_column + ": key change breaks " +
+                  r.child_table + "." + r.child_column};
+    }
+  }
+  return Status::ok();
+}
+
+Status Catalog::update(const std::string& tname, RowId id, std::vector<Value> row,
+                       MutationSink* sink) {
+  Table* t = table(tname);
+  if (t == nullptr) return {Errc::not_found, "no table: " + tname};
+  const auto* cur = t->get(id);
+  if (cur == nullptr) return {Errc::not_found, tname + ": no such row"};
+  WDOC_TRY(t->schema().validate_row(row));
+  WDOC_TRY(check_outgoing_fks(*t, row));
+  WDOC_TRY(check_not_referenced_changed(*t, id, row));
+  std::vector<Value> before = *cur;
+  std::vector<Value> after = row;
+  WDOC_TRY(t->update(id, std::move(row)));
+  notify(sink, Mutation{MutationKind::update, tname, id, std::move(before), std::move(after)});
+  return Status::ok();
+}
+
+Status Catalog::update_column(const std::string& tname, RowId id,
+                              std::string_view column, Value v, MutationSink* sink) {
+  Table* t = table(tname);
+  if (t == nullptr) return {Errc::not_found, "no table: " + tname};
+  const auto* cur = t->get(id);
+  if (cur == nullptr) return {Errc::not_found, tname + ": no such row"};
+  auto ci = t->schema().column_index(column);
+  if (!ci) return {Errc::invalid_argument, tname + ": no column " + std::string(column)};
+  std::vector<Value> next = *cur;
+  next[*ci] = std::move(v);
+  return update(tname, id, std::move(next), sink);
+}
+
+Status Catalog::erase(const std::string& tname, RowId id, MutationSink* sink) {
+  Table* t = table(tname);
+  if (t == nullptr) return {Errc::not_found, "no table: " + tname};
+  const auto* row = t->get(id);
+  if (row == nullptr) return {Errc::not_found, tname + ": no such row"};
+
+  if (const auto* refs = incoming(tname); refs != nullptr) {
+    for (const IncomingRef& r : *refs) {
+      auto pc = t->schema().column_index(r.parent_column);
+      const Value key = (*row)[*pc];
+      if (key.is_null()) continue;
+      Table* child = table(r.child_table);
+      WDOC_CHECK(child != nullptr, "FK child vanished");
+      std::vector<RowId> children = child->find_equal(r.child_column, key);
+      if (children.empty()) continue;
+      switch (r.on_delete) {
+        case RefAction::restrict:
+          return {Errc::constraint_violation,
+                  tname + ": row referenced by " + r.child_table + "." + r.child_column};
+        case RefAction::cascade:
+          for (RowId cid : children) {
+            // Self-referential cascades may have already removed the row.
+            if (child->exists(cid)) WDOC_TRY(erase(r.child_table, cid, sink));
+          }
+          break;
+        case RefAction::set_null:
+          for (RowId cid : children) {
+            auto cci = child->schema().column_index(r.child_column);
+            std::vector<Value> before = *child->get(cid);
+            std::vector<Value> after = before;
+            after[*cci] = Value::null();
+            WDOC_TRY(child->update_column(cid, r.child_column, Value::null()));
+            notify(sink, Mutation{MutationKind::update, r.child_table, cid,
+                                  std::move(before), std::move(after)});
+          }
+          break;
+      }
+      // Re-read: cascade may have mutated this table (self-reference).
+      row = t->get(id);
+      if (row == nullptr) return Status::ok();
+    }
+  }
+  std::vector<Value> before = *row;
+  WDOC_TRY(t->erase(id));
+  notify(sink, Mutation{MutationKind::erase, tname, id, std::move(before), {}});
+  return Status::ok();
+}
+
+std::size_t Catalog::total_rows() const {
+  std::size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t->row_count();
+  return n;
+}
+
+std::size_t Catalog::total_payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [_, t] : tables_) n += t->payload_bytes();
+  return n;
+}
+
+const std::vector<Catalog::IncomingRef>* Catalog::incoming(const std::string& parent) const {
+  auto it = incoming_.find(parent);
+  return it == incoming_.end() ? nullptr : &it->second;
+}
+
+}  // namespace wdoc::storage

@@ -1,0 +1,90 @@
+// Catalog: the named-table namespace plus cross-table (foreign key)
+// integrity. All mutations of tables that participate in FK relationships
+// must go through the catalog so referential actions fire.
+//
+// This is the stand-in for the paper's "off-the-rack relational database"
+// (MS SQL Server behind ODBC) — see DESIGN.md §0.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/table.hpp"
+
+namespace wdoc::storage {
+
+enum class MutationKind : std::uint8_t { insert = 0, update = 1, erase = 2 };
+
+// A physical row mutation, as applied (cascaded deletes and set-null updates
+// fire one Mutation each). Consumed by the WAL and by transaction undo.
+struct Mutation {
+  MutationKind kind;
+  std::string table;
+  RowId row;
+  std::vector<Value> before;  // update/erase
+  std::vector<Value> after;   // insert/update
+};
+
+class MutationSink {
+ public:
+  virtual ~MutationSink() = default;
+  virtual void on_mutation(const Mutation& m) = 0;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  [[nodiscard]] Status create_table(Schema schema);
+  [[nodiscard]] Status drop_table(const std::string& name);
+
+  [[nodiscard]] Table* table(const std::string& name);
+  [[nodiscard]] const Table* table(const std::string& name) const;
+  [[nodiscard]] bool has_table(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  // FK-checked mutations. `sink` (or the default sink if null) observes
+  // every physical row change, including cascade side effects.
+  [[nodiscard]] Result<RowId> insert(const std::string& table, std::vector<Value> row,
+                                     MutationSink* sink = nullptr);
+  [[nodiscard]] Status update(const std::string& table, RowId id, std::vector<Value> row,
+                              MutationSink* sink = nullptr);
+  [[nodiscard]] Status update_column(const std::string& table, RowId id,
+                                     std::string_view column, Value v,
+                                     MutationSink* sink = nullptr);
+  // Applies the referencing tables' on_delete actions (restrict / cascade /
+  // set_null) transitively.
+  [[nodiscard]] Status erase(const std::string& table, RowId id,
+                             MutationSink* sink = nullptr);
+
+  // Observer used when a call does not pass its own sink (e.g. WAL logging).
+  void set_default_sink(MutationSink* sink) { default_sink_ = sink; }
+
+  [[nodiscard]] std::size_t total_rows() const;
+  [[nodiscard]] std::size_t total_payload_bytes() const;
+
+ private:
+  struct IncomingRef {
+    std::string child_table;
+    std::string child_column;
+    std::string parent_column;
+    RefAction on_delete;
+  };
+
+  [[nodiscard]] Status check_outgoing_fks(const Table& t, const std::vector<Value>& row) const;
+  [[nodiscard]] Status check_not_referenced_changed(const Table& t, RowId id,
+                                                    const std::vector<Value>& next) const;
+  [[nodiscard]] const std::vector<IncomingRef>* incoming(const std::string& parent) const;
+  void notify(MutationSink* sink, Mutation m) const;
+
+  MutationSink* default_sink_ = nullptr;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  // parent table name -> referencing edges
+  std::map<std::string, std::vector<IncomingRef>> incoming_;
+};
+
+}  // namespace wdoc::storage

@@ -1,0 +1,48 @@
+// Unordered secondary index: Value key -> RowId postings. O(1) point lookup,
+// no range scans. Used for the unique-name lookups that dominate the paper's
+// workload (script names, starting URLs, test-record names).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "storage/value.hpp"
+
+namespace wdoc::storage {
+
+class HashIndex {
+ public:
+  void insert(const Value& key, RowId rid) { map_.emplace(key, rid); }
+
+  bool erase(const Value& key, RowId rid) {
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == rid) {
+        map_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::vector<RowId> find(const Value& key) const {
+    std::vector<RowId> out;
+    auto [lo, hi] = map_.equal_range(key);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    return out;
+  }
+
+  [[nodiscard]] bool contains(const Value& key) const { return map_.contains(key); }
+  [[nodiscard]] std::size_t count(const Value& key) const { return map_.count(key); }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  struct ValueEq {
+    bool operator()(const Value& a, const Value& b) const { return a.compare(b) == 0; }
+  };
+  std::unordered_multimap<Value, RowId, ValueHash, ValueEq> map_;
+};
+
+}  // namespace wdoc::storage

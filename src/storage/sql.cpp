@@ -1,0 +1,966 @@
+#include "storage/sql.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "storage/query.hpp"
+
+namespace wdoc::storage::sql {
+
+namespace {
+
+bool ieq(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < input.size() ? input[i + off] : '\0';
+  };
+  while (i < input.size()) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // X'hex' blob literal.
+    if ((c == 'x' || c == 'X') && peek(1) == '\'') {
+      i += 2;
+      Token t;
+      t.kind = TokenKind::blob;
+      std::string hex;
+      while (i < input.size() && input[i] != '\'') hex.push_back(input[i++]);
+      if (i >= input.size()) return Error{Errc::invalid_argument, "unterminated blob"};
+      ++i;
+      if (hex.size() % 2 != 0) return Error{Errc::invalid_argument, "odd blob hex"};
+      for (std::size_t h = 0; h < hex.size(); h += 2) {
+        auto nibble = [&](char n) -> int {
+          if (n >= '0' && n <= '9') return n - '0';
+          if (n >= 'a' && n <= 'f') return n - 'a' + 10;
+          if (n >= 'A' && n <= 'F') return n - 'A' + 10;
+          return -1;
+        };
+        int hi = nibble(hex[h]), lo = nibble(hex[h + 1]);
+        if (hi < 0 || lo < 0) return Error{Errc::invalid_argument, "bad blob hex"};
+        t.blob_value.push_back(static_cast<std::uint8_t>(hi * 16 + lo));
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t;
+      t.kind = TokenKind::identifier;
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) || input[i] == '_' ||
+              input[i] == '.')) {
+        t.text.push_back(input[i++]);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      Token t;
+      std::string num;
+      if (c == '-') {
+        num.push_back(c);
+        ++i;
+      }
+      bool is_real = false;
+      while (i < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[i])) || input[i] == '.')) {
+        if (input[i] == '.') is_real = true;
+        num.push_back(input[i++]);
+      }
+      if (is_real) {
+        t.kind = TokenKind::real;
+        t.real_value = std::stod(num);
+      } else {
+        t.kind = TokenKind::integer;
+        t.int_value = std::stoll(num);
+      }
+      t.text = std::move(num);
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      Token t;
+      t.kind = TokenKind::text;
+      for (;;) {
+        if (i >= input.size()) return Error{Errc::invalid_argument, "unterminated string"};
+        if (input[i] == '\'') {
+          if (peek(1) == '\'') {  // escaped quote
+            t.text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        t.text.push_back(input[i++]);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    // Symbols, longest first.
+    Token t;
+    t.kind = TokenKind::symbol;
+    if ((c == '!' && peek(1) == '=') || (c == '<' && peek(1) == '>') ||
+        (c == '<' && peek(1) == '=') || (c == '>' && peek(1) == '=')) {
+      t.text = std::string{c, peek(1)};
+      i += 2;
+    } else if (std::string_view("(),=<>*;").find(c) != std::string_view::npos) {
+      t.text = std::string(1, c);
+      ++i;
+    } else {
+      return Error{Errc::invalid_argument,
+                   std::string("unexpected character '") + c + "'"};
+    }
+    tokens.push_back(std::move(t));
+  }
+  Token end;
+  end.kind = TokenKind::end;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+namespace {
+
+// --- parser ------------------------------------------------------------------
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Database& db)
+      : tokens_(std::move(tokens)), db_(&db) {}
+
+  Result<ResultSet> run() {
+    if (match_kw("CREATE")) return create_table();
+    if (match_kw("DROP")) return drop_table();
+    if (match_kw("INSERT")) return insert();
+    if (match_kw("SELECT")) return select();
+    if (match_kw("UPDATE")) return update();
+    if (match_kw("DELETE")) return del();
+    return err("expected CREATE/DROP/INSERT/SELECT/UPDATE/DELETE");
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  void advance() {
+    if (cur().kind != TokenKind::end) ++pos_;
+  }
+  bool match_kw(std::string_view kw) {
+    if (cur().kind == TokenKind::identifier && ieq(cur().text, kw)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_sym(std::string_view sym) {
+    if (cur().kind == TokenKind::symbol && cur().text == sym) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] Error err(const std::string& what) const {
+    return Error{Errc::invalid_argument,
+                 "SQL: " + what + " near '" + cur().text + "'"};
+  }
+
+  Result<std::string> identifier(const char* what) {
+    if (cur().kind != TokenKind::identifier) return err(std::string("expected ") + what);
+    std::string name = cur().text;
+    advance();
+    return name;
+  }
+
+  Result<Value> literal() {
+    switch (cur().kind) {
+      case TokenKind::integer: {
+        Value v(cur().int_value);
+        advance();
+        return v;
+      }
+      case TokenKind::real: {
+        Value v(cur().real_value);
+        advance();
+        return v;
+      }
+      case TokenKind::text: {
+        Value v(cur().text);
+        advance();
+        return v;
+      }
+      case TokenKind::blob: {
+        Value v(cur().blob_value);
+        advance();
+        return v;
+      }
+      case TokenKind::identifier:
+        if (match_kw("NULL")) return Value::null();
+        if (match_kw("TRUE")) return Value(true);
+        if (match_kw("FALSE")) return Value(false);
+        return err("expected literal");
+      default:
+        return err("expected literal");
+    }
+  }
+
+  // --- statements -------------------------------------------------------
+
+  Result<ResultSet> create_table() {
+    if (!match_kw("TABLE")) return err("expected TABLE");
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    if (!match_sym("(")) return err("expected (");
+
+    std::vector<Column> columns;
+    std::vector<ForeignKey> fks;
+    std::string primary_key;
+    for (;;) {
+      if (match_kw("FOREIGN")) {
+        if (!match_kw("KEY") || !match_sym("(")) return err("expected KEY (");
+        auto col = identifier("FK column");
+        if (!col) return col.error();
+        if (!match_sym(")") || !match_kw("REFERENCES")) {
+          return err("expected ) REFERENCES");
+        }
+        auto parent = identifier("parent table");
+        if (!parent) return parent.error();
+        if (!match_sym("(")) return err("expected (");
+        auto pcol = identifier("parent column");
+        if (!pcol) return pcol.error();
+        if (!match_sym(")")) return err("expected )");
+        RefAction action = RefAction::restrict;
+        if (match_kw("ON")) {
+          if (!match_kw("DELETE")) return err("expected DELETE");
+          if (match_kw("CASCADE")) {
+            action = RefAction::cascade;
+          } else if (match_kw("RESTRICT")) {
+            action = RefAction::restrict;
+          } else if (match_kw("SET")) {
+            if (!match_kw("NULL")) return err("expected NULL");
+            action = RefAction::set_null;
+          } else {
+            return err("expected CASCADE/RESTRICT/SET NULL");
+          }
+        }
+        fks.push_back(ForeignKey{col.value(), parent.value(), pcol.value(), action});
+      } else {
+        auto col_name = identifier("column name");
+        if (!col_name) return col_name.error();
+        Column col;
+        col.name = col_name.value();
+        if (match_kw("INTEGER") || match_kw("INT")) {
+          col.type = ValueType::integer;
+        } else if (match_kw("REAL") || match_kw("DOUBLE") || match_kw("FLOAT")) {
+          col.type = ValueType::real;
+        } else if (match_kw("TEXT") || match_kw("VARCHAR")) {
+          col.type = ValueType::text;
+        } else if (match_kw("BLOB")) {
+          col.type = ValueType::blob;
+        } else if (match_kw("BOOLEAN") || match_kw("BOOL")) {
+          col.type = ValueType::boolean;
+        } else {
+          return err("expected column type");
+        }
+        for (;;) {
+          if (match_kw("PRIMARY")) {
+            if (!match_kw("KEY")) return err("expected KEY");
+            primary_key = col.name;
+          } else if (match_kw("NOT")) {
+            if (!match_kw("NULL")) return err("expected NULL");
+            col.nullable = false;
+          } else if (match_kw("UNIQUE")) {
+            col.unique = true;
+          } else if (match_kw("INDEXED")) {
+            col.indexed = true;
+          } else {
+            break;
+          }
+        }
+        columns.push_back(std::move(col));
+      }
+      if (match_sym(",")) continue;
+      if (match_sym(")")) break;
+      return err("expected , or )");
+    }
+    WDOC_TRY(expect_end());
+    WDOC_TRY(db_->create_table(
+        Schema(name.value(), std::move(columns), primary_key, std::move(fks))));
+    return ResultSet{};
+  }
+
+  Result<ResultSet> drop_table() {
+    if (!match_kw("TABLE")) return err("expected TABLE");
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    WDOC_TRY(expect_end());
+    WDOC_TRY(db_->drop_table(name.value()));
+    return ResultSet{};
+  }
+
+  Result<ResultSet> insert() {
+    if (!match_kw("INTO")) return err("expected INTO");
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    if (!match_kw("VALUES") || !match_sym("(")) return err("expected VALUES (");
+    std::vector<Value> row;
+    for (;;) {
+      auto v = literal();
+      if (!v) return v.error();
+      row.push_back(std::move(v).value());
+      if (match_sym(",")) continue;
+      if (match_sym(")")) break;
+      return err("expected , or )");
+    }
+    WDOC_TRY(expect_end());
+    auto id = db_->insert(name.value(), std::move(row));
+    if (!id) return id.error();
+    ResultSet rs;
+    rs.affected = 1;
+    rs.last_insert_row = id.value();
+    return rs;
+  }
+
+  struct Pred {
+    std::string column;
+    CmpOp op;
+    Value probe;
+  };
+
+  Result<std::vector<Pred>> where_clause() {
+    std::vector<Pred> preds;
+    if (!match_kw("WHERE")) return preds;
+    for (;;) {
+      auto col = identifier("column");
+      if (!col) return col.error();
+      Pred p;
+      p.column = std::move(col).value();
+      if (match_kw("IS")) {
+        bool negated = match_kw("NOT");
+        if (!match_kw("NULL")) return err("expected NULL");
+        p.op = negated ? CmpOp::not_null : CmpOp::is_null;
+      } else if (match_kw("LIKE")) {
+        if (cur().kind != TokenKind::text) return err("expected string after LIKE");
+        p.op = CmpOp::contains;
+        p.probe = Value(cur().text);
+        advance();
+      } else if (cur().kind == TokenKind::symbol) {
+        const std::string& sym = cur().text;
+        if (sym == "=") {
+          p.op = CmpOp::eq;
+        } else if (sym == "!=" || sym == "<>") {
+          p.op = CmpOp::ne;
+        } else if (sym == "<") {
+          p.op = CmpOp::lt;
+        } else if (sym == "<=") {
+          p.op = CmpOp::le;
+        } else if (sym == ">") {
+          p.op = CmpOp::gt;
+        } else if (sym == ">=") {
+          p.op = CmpOp::ge;
+        } else {
+          return err("expected comparison operator");
+        }
+        advance();
+        auto v = literal();
+        if (!v) return v.error();
+        p.probe = std::move(v).value();
+      } else {
+        return err("expected comparison");
+      }
+      preds.push_back(std::move(p));
+      if (!match_kw("AND")) break;
+    }
+    return preds;
+  }
+
+  enum class AggKind : std::uint8_t { column, count_star, sum, avg, min_of, max_of };
+
+  struct SelectItem {
+    AggKind kind = AggKind::column;
+    std::string column;  // source column (empty for COUNT(*))
+
+    [[nodiscard]] std::string output_name() const {
+      switch (kind) {
+        case AggKind::column: return column;
+        case AggKind::count_star: return "count";
+        case AggKind::sum: return "sum_" + column;
+        case AggKind::avg: return "avg_" + column;
+        case AggKind::min_of: return "min_" + column;
+        case AggKind::max_of: return "max_" + column;
+      }
+      return column;
+    }
+  };
+
+  Result<std::vector<SelectItem>> select_list() {
+    std::vector<SelectItem> items;
+    if (match_sym("*")) return items;  // empty = all columns
+    for (;;) {
+      SelectItem item;
+      if (match_kw("COUNT")) {
+        if (!match_sym("(") || !match_sym("*") || !match_sym(")")) {
+          return err("expected COUNT(*)");
+        }
+        item.kind = AggKind::count_star;
+      } else if (match_kw("SUM") || match_kw("AVG") || match_kw("MIN") ||
+                 match_kw("MAX")) {
+        const std::string fn = tokens_[pos_ - 1].text;
+        if (!match_sym("(")) return err("expected (");
+        auto col = identifier("aggregate column");
+        if (!col) return col.error();
+        if (!match_sym(")")) return err("expected )");
+        item.column = std::move(col).value();
+        if (ieq(fn, "SUM")) {
+          item.kind = AggKind::sum;
+        } else if (ieq(fn, "AVG")) {
+          item.kind = AggKind::avg;
+        } else if (ieq(fn, "MIN")) {
+          item.kind = AggKind::min_of;
+        } else {
+          item.kind = AggKind::max_of;
+        }
+      } else {
+        auto col = identifier("column");
+        if (!col) return col.error();
+        item.column = std::move(col).value();
+      }
+      items.push_back(std::move(item));
+      if (!match_sym(",")) break;
+    }
+    return items;
+  }
+
+  Result<ResultSet> select() {
+    auto items = select_list();
+    if (!items) return items.error();
+    if (!match_kw("FROM")) return err("expected FROM");
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    const Table* table = db_->catalog().table(name.value());
+    if (table == nullptr) return Error{Errc::not_found, "no table: " + name.value()};
+
+    if (match_kw("JOIN")) {
+      return join_select(name.value(), *table, items.value());
+    }
+
+    auto preds = where_clause();
+    if (!preds) return preds.error();
+
+    std::optional<std::string> group_by;
+    if (match_kw("GROUP")) {
+      if (!match_kw("BY")) return err("expected BY");
+      auto col = identifier("group column");
+      if (!col) return col.error();
+      group_by = std::move(col).value();
+    }
+    std::optional<std::string> order_col;
+    bool ascending = true;
+    if (match_kw("ORDER")) {
+      if (!match_kw("BY")) return err("expected BY");
+      auto col = identifier("order column");
+      if (!col) return col.error();
+      order_col = std::move(col).value();
+      if (match_kw("DESC")) {
+        ascending = false;
+      } else {
+        (void)match_kw("ASC");
+      }
+    }
+    std::optional<std::size_t> limit;
+    if (match_kw("LIMIT")) {
+      if (cur().kind != TokenKind::integer || cur().int_value < 0) {
+        return err("expected non-negative LIMIT");
+      }
+      limit = static_cast<std::size_t>(cur().int_value);
+      advance();
+    }
+    WDOC_TRY(expect_end());
+
+    const bool has_aggregate = std::any_of(
+        items.value().begin(), items.value().end(),
+        [](const SelectItem& it) { return it.kind != AggKind::column; });
+
+    if (!has_aggregate && !group_by) {
+      return plain_select(*table, items.value(), preds.value(), order_col, ascending,
+                          limit);
+    }
+    return aggregate_select(*table, items.value(), preds.value(), group_by, order_col,
+                            ascending, limit);
+  }
+
+  Result<ResultSet> plain_select(const Table& table, std::vector<SelectItem>& items,
+                                 std::vector<Pred>& preds,
+                                 const std::optional<std::string>& order_col,
+                                 bool ascending, std::optional<std::size_t> limit) {
+    Query q(table);
+    for (Pred& p : preds) q.where(p.column, p.op, std::move(p.probe));
+    if (order_col) q.order_by(*order_col, ascending);
+    if (limit) q.limit(*limit);
+
+    ResultSet rs;
+    if (!items.empty()) {
+      std::vector<std::string> projection;
+      for (const SelectItem& it : items) projection.push_back(it.column);
+      q.select(projection);
+      rs.columns = std::move(projection);
+    } else {
+      for (std::size_t c = 0; c < table.schema().column_count(); ++c) {
+        rs.columns.push_back(table.schema().column(c).name);
+      }
+    }
+    auto rows = q.run();
+    if (!rows) return rows.error();
+    rs.rows.reserve(rows.value().size());
+    for (QueryRow& row : rows.value()) rs.rows.push_back(std::move(row.values));
+    return rs;
+  }
+
+  Result<ResultSet> aggregate_select(const Table& table,
+                                     const std::vector<SelectItem>& items,
+                                     std::vector<Pred>& preds,
+                                     const std::optional<std::string>& group_by,
+                                     const std::optional<std::string>& order_col,
+                                     bool ascending, std::optional<std::size_t> limit) {
+    if (items.empty()) {
+      return Error{Errc::invalid_argument, "SQL: aggregate query needs a select list"};
+    }
+    // Validate items: plain columns must be the GROUP BY column.
+    for (const SelectItem& it : items) {
+      if (it.kind == AggKind::column &&
+          (!group_by.has_value() || it.column != *group_by)) {
+        return Error{Errc::invalid_argument,
+                     "SQL: non-aggregated column '" + it.column +
+                         "' requires GROUP BY " + it.column};
+      }
+    }
+    std::optional<std::size_t> group_ci;
+    if (group_by) {
+      auto ci = table.schema().column_index(*group_by);
+      if (!ci) return Error{Errc::invalid_argument, "no column: " + *group_by};
+      group_ci = *ci;
+    }
+    std::vector<std::size_t> agg_ci(items.size(), SIZE_MAX);
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].kind == AggKind::column || items[i].kind == AggKind::count_star) {
+        continue;
+      }
+      auto ci = table.schema().column_index(items[i].column);
+      if (!ci) return Error{Errc::invalid_argument, "no column: " + items[i].column};
+      agg_ci[i] = *ci;
+    }
+
+    Query q(table);
+    for (Pred& p : preds) q.where(p.column, p.op, std::move(p.probe));
+    auto rows = q.run();
+    if (!rows) return rows.error();
+
+    struct Acc {
+      std::uint64_t count = 0;
+      double sum = 0;
+      std::uint64_t non_null = 0;
+      std::optional<Value> min_v, max_v;
+    };
+    // One accumulator row per group, per item.
+    std::map<Value, std::vector<Acc>> groups;
+    for (const QueryRow& row : rows.value()) {
+      Value key = group_ci ? row.values[*group_ci] : Value(std::int64_t{0});
+      auto [it, inserted] = groups.try_emplace(key, items.size());
+      std::vector<Acc>& accs = it->second;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        Acc& acc = accs[i];
+        ++acc.count;
+        if (agg_ci[i] == SIZE_MAX) continue;
+        const Value& cell = row.values[agg_ci[i]];
+        if (cell.is_null()) continue;
+        ++acc.non_null;
+        double numeric = cell.type() == ValueType::integer
+                             ? static_cast<double>(cell.as_int())
+                             : (cell.type() == ValueType::real ? cell.as_real() : 0.0);
+        acc.sum += numeric;
+        if (!acc.min_v || cell < *acc.min_v) acc.min_v = cell;
+        if (!acc.max_v || cell > *acc.max_v) acc.max_v = cell;
+      }
+    }
+
+    ResultSet rs;
+    for (const SelectItem& it : items) rs.columns.push_back(it.output_name());
+    for (const auto& [key, accs] : groups) {
+      std::vector<Value> out;
+      out.reserve(items.size());
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const Acc& acc = accs[i];
+        switch (items[i].kind) {
+          case AggKind::column:
+            out.push_back(key);
+            break;
+          case AggKind::count_star:
+            out.push_back(Value(static_cast<std::int64_t>(acc.count)));
+            break;
+          case AggKind::sum:
+            out.push_back(Value(acc.sum));
+            break;
+          case AggKind::avg:
+            out.push_back(acc.non_null == 0
+                              ? Value::null()
+                              : Value(acc.sum / static_cast<double>(acc.non_null)));
+            break;
+          case AggKind::min_of:
+            out.push_back(acc.min_v.value_or(Value::null()));
+            break;
+          case AggKind::max_of:
+            out.push_back(acc.max_v.value_or(Value::null()));
+            break;
+        }
+      }
+      rs.rows.push_back(std::move(out));
+    }
+    // Empty input with no GROUP BY still yields one row of aggregates.
+    if (rs.rows.empty() && !group_by) {
+      std::vector<Value> out;
+      for (const SelectItem& it : items) {
+        out.push_back(it.kind == AggKind::count_star ? Value(std::int64_t{0})
+                                                     : Value::null());
+      }
+      rs.rows.push_back(std::move(out));
+    }
+
+    if (order_col) {
+      auto pos = std::find(rs.columns.begin(), rs.columns.end(), *order_col);
+      if (pos == rs.columns.end()) {
+        return Error{Errc::invalid_argument,
+                     "SQL: ORDER BY must name an output column, got " + *order_col};
+      }
+      std::size_t ci = static_cast<std::size_t>(pos - rs.columns.begin());
+      std::stable_sort(rs.rows.begin(), rs.rows.end(),
+                       [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+                         int c = a[ci].compare(b[ci]);
+                         return ascending ? c < 0 : c > 0;
+                       });
+    }
+    if (limit && rs.rows.size() > *limit) rs.rows.resize(*limit);
+    return rs;
+  }
+
+  Result<ResultSet> update() {
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    if (!match_kw("SET")) return err("expected SET");
+    std::vector<std::pair<std::string, Value>> sets;
+    for (;;) {
+      auto col = identifier("column");
+      if (!col) return col.error();
+      if (!match_sym("=")) return err("expected =");
+      auto v = literal();
+      if (!v) return v.error();
+      sets.emplace_back(std::move(col).value(), std::move(v).value());
+      if (!match_sym(",")) break;
+    }
+    auto preds = where_clause();
+    if (!preds) return preds.error();
+    WDOC_TRY(expect_end());
+
+    const Table* table = db_->catalog().table(name.value());
+    if (table == nullptr) return Error{Errc::not_found, "no table: " + name.value()};
+    auto ids = matching_ids(*table, preds.value());
+    if (!ids) return ids.error();
+
+    ResultSet rs;
+    for (RowId id : ids.value()) {
+      for (const auto& [col, v] : sets) {
+        WDOC_TRY(db_->update_column(name.value(), id, col, v));
+      }
+      ++rs.affected;
+    }
+    return rs;
+  }
+
+  Result<ResultSet> del() {
+    if (!match_kw("FROM")) return err("expected FROM");
+    auto name = identifier("table name");
+    if (!name) return name.error();
+    auto preds = where_clause();
+    if (!preds) return preds.error();
+    WDOC_TRY(expect_end());
+
+    const Table* table = db_->catalog().table(name.value());
+    if (table == nullptr) return Error{Errc::not_found, "no table: " + name.value()};
+    auto ids = matching_ids(*table, preds.value());
+    if (!ids) return ids.error();
+
+    ResultSet rs;
+    for (RowId id : ids.value()) {
+      // Cascades may have removed the row already.
+      if (!table->exists(id)) continue;
+      WDOC_TRY(db_->erase(name.value(), id));
+      ++rs.affected;
+    }
+    return rs;
+  }
+
+  // --- INNER JOIN -----------------------------------------------------------
+  // SELECT items FROM t1 JOIN t2 ON t1.a = t2.b [WHERE ...] [ORDER BY out]
+  // [LIMIT n]. Columns may be qualified (t.col) or unqualified when
+  // unambiguous; output columns are qualified. Aggregates are not supported
+  // in joined selects.
+  struct QualifiedColumn {
+    std::size_t table = 0;  // 0 = left, 1 = right
+    std::size_t column = 0;
+  };
+
+  static Result<QualifiedColumn> resolve_column(
+      const std::string& ref, const std::array<const Table*, 2>& tables,
+      const std::array<std::string, 2>& names) {
+    auto dot = ref.find('.');
+    if (dot != std::string::npos) {
+      std::string tname = ref.substr(0, dot);
+      std::string cname = ref.substr(dot + 1);
+      for (std::size_t t = 0; t < 2; ++t) {
+        if (names[t] == tname) {
+          auto ci = tables[t]->schema().column_index(cname);
+          if (!ci) {
+            return Error{Errc::invalid_argument, "no column: " + ref};
+          }
+          return QualifiedColumn{t, *ci};
+        }
+      }
+      return Error{Errc::invalid_argument, "unknown table in reference: " + ref};
+    }
+    std::optional<QualifiedColumn> found;
+    for (std::size_t t = 0; t < 2; ++t) {
+      if (auto ci = tables[t]->schema().column_index(ref)) {
+        if (found) {
+          return Error{Errc::invalid_argument, "ambiguous column: " + ref};
+        }
+        found = QualifiedColumn{t, *ci};
+      }
+    }
+    if (!found) return Error{Errc::invalid_argument, "no column: " + ref};
+    return *found;
+  }
+
+  Result<ResultSet> join_select(const std::string& left_name, const Table& left,
+                                const std::vector<SelectItem>& items) {
+    auto right_name = identifier("joined table");
+    if (!right_name) return right_name.error();
+    const Table* right = db_->catalog().table(right_name.value());
+    if (right == nullptr) {
+      return Error{Errc::not_found, "no table: " + right_name.value()};
+    }
+    if (!match_kw("ON")) return err("expected ON");
+    auto lhs = identifier("join column");
+    if (!lhs) return lhs.error();
+    if (!match_sym("=")) return err("expected =");
+    auto rhs = identifier("join column");
+    if (!rhs) return rhs.error();
+
+    const std::array<const Table*, 2> tables{&left, right};
+    const std::array<std::string, 2> names{left_name, right_name.value()};
+
+    auto lcol = resolve_column(lhs.value(), tables, names);
+    if (!lcol) return lcol.error();
+    auto rcol = resolve_column(rhs.value(), tables, names);
+    if (!rcol) return rcol.error();
+    if (lcol.value().table == rcol.value().table) {
+      return Error{Errc::invalid_argument, "join condition must span both tables"};
+    }
+    // Normalize: key0 on the left table, key1 on the right.
+    std::size_t key0 = lcol.value().table == 0 ? lcol.value().column : rcol.value().column;
+    std::size_t key1 = lcol.value().table == 1 ? lcol.value().column : rcol.value().column;
+
+    for (const SelectItem& it : items) {
+      if (it.kind != AggKind::column) {
+        return Error{Errc::unsupported, "aggregates are not supported with JOIN"};
+      }
+    }
+
+    auto preds = where_clause();
+    if (!preds) return preds.error();
+    struct ResolvedPred {
+      QualifiedColumn column;
+      CmpOp op;
+      Value probe;
+    };
+    std::vector<ResolvedPred> resolved;
+    for (Pred& p : preds.value()) {
+      auto qc = resolve_column(p.column, tables, names);
+      if (!qc) return qc.error();
+      resolved.push_back(ResolvedPred{qc.value(), p.op, std::move(p.probe)});
+    }
+
+    std::optional<std::string> order_col;
+    bool ascending = true;
+    if (match_kw("ORDER")) {
+      if (!match_kw("BY")) return err("expected BY");
+      auto col = identifier("order column");
+      if (!col) return col.error();
+      order_col = std::move(col).value();
+      if (match_kw("DESC")) {
+        ascending = false;
+      } else {
+        (void)match_kw("ASC");
+      }
+    }
+    std::optional<std::size_t> limit;
+    if (match_kw("LIMIT")) {
+      if (cur().kind != TokenKind::integer || cur().int_value < 0) {
+        return err("expected non-negative LIMIT");
+      }
+      limit = static_cast<std::size_t>(cur().int_value);
+      advance();
+    }
+    WDOC_TRY(expect_end());
+
+    // Projection: explicit items or every column of both tables.
+    std::vector<QualifiedColumn> projection;
+    ResultSet rs;
+    if (items.empty()) {
+      for (std::size_t t = 0; t < 2; ++t) {
+        for (std::size_t c = 0; c < tables[t]->schema().column_count(); ++c) {
+          projection.push_back(QualifiedColumn{t, c});
+          rs.columns.push_back(names[t] + "." + tables[t]->schema().column(c).name);
+        }
+      }
+    } else {
+      for (const SelectItem& it : items) {
+        auto qc = resolve_column(it.column, tables, names);
+        if (!qc) return qc.error();
+        projection.push_back(qc.value());
+        rs.columns.push_back(names[qc.value().table] + "." +
+                             tables[qc.value().table]->schema().column(qc.value().column).name);
+      }
+    }
+
+    // Nested-loop join with index probe on the right key when available.
+    const std::string& right_key_name = right->schema().column(key1).name;
+    const bool right_indexed = right->has_index(right_key_name);
+
+    auto emit = [&](const std::vector<Value>& lrow, const std::vector<Value>& rrow) {
+      for (const ResolvedPred& p : resolved) {
+        const Value& cell =
+            p.column.table == 0 ? lrow[p.column.column] : rrow[p.column.column];
+        if (!eval_cmp(p.op, cell, p.probe)) return;
+      }
+      std::vector<Value> out;
+      out.reserve(projection.size());
+      for (const QualifiedColumn& qc : projection) {
+        out.push_back(qc.table == 0 ? lrow[qc.column] : rrow[qc.column]);
+      }
+      rs.rows.push_back(std::move(out));
+    };
+
+    left.scan([&](RowId, const std::vector<Value>& lrow) {
+      const Value& key = lrow[key0];
+      if (key.is_null()) return true;  // NULL joins nothing
+      if (right_indexed) {
+        for (RowId rid : right->find_equal(right_key_name, key)) {
+          emit(lrow, *right->get(rid));
+        }
+      } else {
+        right->scan([&](RowId, const std::vector<Value>& rrow) {
+          if (rrow[key1] == key) emit(lrow, rrow);
+          return true;
+        });
+      }
+      return true;
+    });
+
+    if (order_col) {
+      // Exact qualified match first, then a unique ".col" suffix match.
+      auto pos = std::find(rs.columns.begin(), rs.columns.end(), *order_col);
+      if (pos == rs.columns.end()) {
+        std::string suffix = "." + *order_col;
+        for (auto it = rs.columns.begin(); it != rs.columns.end(); ++it) {
+          if (it->size() > suffix.size() &&
+              it->compare(it->size() - suffix.size(), suffix.size(), suffix) == 0) {
+            if (pos != rs.columns.end()) {
+              return Error{Errc::invalid_argument,
+                           "ambiguous ORDER BY column: " + *order_col};
+            }
+            pos = it;
+          }
+        }
+      }
+      if (pos == rs.columns.end()) {
+        return Error{Errc::invalid_argument,
+                     "ORDER BY must name an output column, got " + *order_col};
+      }
+      std::size_t ci = static_cast<std::size_t>(pos - rs.columns.begin());
+      std::stable_sort(rs.rows.begin(), rs.rows.end(),
+                       [&](const std::vector<Value>& a, const std::vector<Value>& b) {
+                         int c = a[ci].compare(b[ci]);
+                         return ascending ? c < 0 : c > 0;
+                       });
+    }
+    if (limit && rs.rows.size() > *limit) rs.rows.resize(*limit);
+    return rs;
+  }
+
+  Result<std::vector<RowId>> matching_ids(const Table& table,
+                                          std::vector<Pred>& preds) {
+    Query q(table);
+    for (Pred& p : preds) q.where(p.column, p.op, p.probe);
+    auto rows = q.run();
+    if (!rows) return rows.error();
+    std::vector<RowId> ids;
+    ids.reserve(rows.value().size());
+    for (const QueryRow& row : rows.value()) ids.push_back(row.id);
+    return ids;
+  }
+
+  Status expect_end() {
+    (void)match_sym(";");
+    if (cur().kind != TokenKind::end) {
+      return Status(err("trailing tokens"));
+    }
+    return Status::ok();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Database* db_;
+};
+
+}  // namespace
+
+Result<ResultSet> Engine::execute(std::string_view statement) {
+  auto tokens = tokenize(statement);
+  if (!tokens) return tokens.error();
+  Parser parser(std::move(tokens).value(), *db_);
+  return parser.run();
+}
+
+std::string ResultSet::to_string() const {
+  if (columns.empty()) {
+    return "affected: " + std::to_string(affected) + "\n";
+  }
+  std::string out;
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    out += (c > 0 ? " | " : "") + columns[c];
+  }
+  out += "\n";
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += (c > 0 ? " | " : "") + row[c].to_string();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace wdoc::storage::sql

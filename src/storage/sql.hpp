@@ -1,0 +1,76 @@
+// A small SQL front end over the storage engine — the "open database
+// connection" surface of the paper's architecture ("compatibility
+// requirements include ... database standard", §1). The instructor-side
+// tools spoke ODBC/JDBC to an SQL server; this module gives the embedded
+// engine the same statement-level interface.
+//
+// Supported statements:
+//   CREATE TABLE t (col TYPE [PRIMARY KEY|NOT NULL|UNIQUE|INDEXED]... ,
+//                   FOREIGN KEY (col) REFERENCES t2(col)
+//                     [ON DELETE CASCADE|RESTRICT|SET NULL], ...)
+//   DROP TABLE t
+//   INSERT INTO t VALUES (lit, ...)
+//   SELECT *|COUNT(*)|aggregates|col,... FROM t [WHERE pred AND ...]
+//          [GROUP BY col] [ORDER BY col [ASC|DESC]] [LIMIT n]
+//   SELECT cols FROM t1 JOIN t2 ON t1.a = t2.b [WHERE ...] [ORDER BY out]
+//          [LIMIT n]            (inner join; columns may be qualified)
+//   UPDATE t SET col = lit, ... [WHERE ...]
+//   DELETE FROM t [WHERE ...]
+// Predicates: col {=|!=|<>|<|<=|>|>=} lit, col LIKE 'substring',
+//             col IS [NOT] NULL.
+// Literals: NULL, TRUE/FALSE, integers, reals, 'text' ('' escapes a quote),
+//           X'hex' blobs.
+// Types: INTEGER, REAL, TEXT, BLOB, BOOLEAN.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/database.hpp"
+
+namespace wdoc::storage::sql {
+
+struct ResultSet {
+  std::vector<std::string> columns;           // empty for DML/DDL
+  std::vector<std::vector<Value>> rows;       // SELECT results
+  std::uint64_t affected = 0;                 // rows touched by DML
+  std::optional<RowId> last_insert_row;
+
+  [[nodiscard]] std::string to_string() const;  // ascii table, for tools
+};
+
+class Engine {
+ public:
+  explicit Engine(Database& db) : db_(&db) {}
+
+  [[nodiscard]] Result<ResultSet> execute(std::string_view statement);
+
+ private:
+  Database* db_;
+};
+
+// --- tokenizer, exposed for tests -------------------------------------------
+
+enum class TokenKind : std::uint8_t {
+  identifier,  // also keywords; matching is case-insensitive
+  integer,
+  real,
+  text,      // 'string' with '' escape
+  blob,      // X'hex'
+  symbol,    // ( ) , = != <> < <= > >= *
+  end,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::end;
+  std::string text;       // raw (identifiers upper-cased separately)
+  std::int64_t int_value = 0;
+  double real_value = 0;
+  Bytes blob_value;
+};
+
+[[nodiscard]] Result<std::vector<Token>> tokenize(std::string_view input);
+
+}  // namespace wdoc::storage::sql

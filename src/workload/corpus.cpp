@@ -1,0 +1,155 @@
+#include "workload/corpus.hpp"
+
+#include <array>
+#include <set>
+
+namespace wdoc::workload {
+
+namespace {
+
+constexpr std::array<const char*, 12> kSubjects = {
+    "computer engineering", "multimedia computing", "engineering drawing",
+    "data structures",      "operating systems",    "computer networks",
+    "database systems",     "software engineering", "distance learning",
+    "java programming",     "web authoring",        "digital libraries"};
+
+constexpr std::array<const char*, 8> kInstructors = {
+    "shih", "ma", "huang", "chen", "lin", "wang", "lee", "chang"};
+
+blob::MediaType pick_media(Rng& rng, const CorpusConfig& cfg) {
+  double u = rng.uniform01();
+  if (u < cfg.video_fraction) return blob::MediaType::video;
+  if (u < cfg.video_fraction + cfg.audio_fraction) return blob::MediaType::audio;
+  double rest = rng.uniform01();
+  if (rest < 0.4) return blob::MediaType::image;
+  if (rest < 0.7) return blob::MediaType::animation;
+  return blob::MediaType::midi;
+}
+
+}  // namespace
+
+std::vector<dist::BlobRef> resource_pool(const CorpusConfig& config) {
+  Rng rng(config.seed ^ 0xb10bULL);
+  std::vector<dist::BlobRef> pool;
+  pool.reserve(config.unique_resources);
+  for (std::size_t i = 0; i < config.unique_resources; ++i) {
+    dist::BlobRef ref;
+    ref.type = pick_media(rng, config);
+    // Size jitter: 0.5x .. 1.5x of the typical size, scaled.
+    double jitter = 0.5 + rng.uniform01();
+    ref.size = static_cast<std::uint64_t>(
+        static_cast<double>(blob::typical_media_bytes(ref.type)) * jitter *
+        config.size_scale);
+    if (ref.size == 0) ref.size = 1;
+    // Deterministic digest from the pool slot.
+    ref.digest = digest128("corpus-resource-" + std::to_string(config.seed) + "-" +
+                           std::to_string(i));
+    pool.push_back(ref);
+  }
+  return pool;
+}
+
+Result<Corpus> generate_corpus(docmodel::Repository& repo, const CorpusConfig& config,
+                               StationId home) {
+  Rng rng(config.seed);
+  ZipfSampler zipf(std::max<std::size_t>(config.unique_resources, 1), config.zipf_s);
+  std::vector<dist::BlobRef> pool = resource_pool(config);
+
+  Corpus corpus;
+  corpus.courses.reserve(config.courses);
+
+  docmodel::DatabaseInfo dbinfo;
+  dbinfo.name = "mmu-virtual-courses";
+  dbinfo.keywords = "virtual university, distance learning";
+  dbinfo.author = "mmu-consortium";
+  dbinfo.version = "1.0";
+  dbinfo.created_at = config.base_time;
+  // The database row may already exist when generating into a shared repo.
+  Status db_status = repo.create_database(dbinfo);
+  if (!db_status.is_ok() && db_status.code() != Errc::already_exists) {
+    return Error(db_status.error());
+  }
+
+  for (std::size_t c = 0; c < config.courses; ++c) {
+    GeneratedCourse course;
+    const char* subject = kSubjects[c % kSubjects.size()];
+    course.script_name = "script-" + std::to_string(config.seed % 1000) + "-" +
+                         std::to_string(c);
+    course.course_number = "CS" + std::to_string(100 + c);
+    course.instructor = kInstructors[rng.uniform(kInstructors.size())];
+
+    docmodel::ScriptInfo script;
+    script.name = course.script_name;
+    script.keywords = std::string("introduction, ") + subject;
+    script.author = course.instructor;
+    script.version = "1.0";
+    script.created_at = config.base_time + static_cast<std::int64_t>(c) * 86400000000;
+    script.description = std::string("Introduction to ") + subject +
+                         " as a virtual course for the MMU project.";
+    script.expected_completion = script.created_at + 30ll * 86400000000;
+    script.pct_complete = 100.0;
+    WDOC_TRY(repo.create_script(script));
+    WDOC_TRY(repo.add_script_to_database(dbinfo.name, script.name));
+
+    for (std::size_t t = 0; t < config.impls_per_course; ++t) {
+      docmodel::ImplementationInfo impl;
+      impl.starting_url = "http://mmu.edu/" + course.course_number + "/try" +
+                          std::to_string(t + 1) + "/index.html";
+      impl.script_name = course.script_name;
+      impl.author = course.instructor;
+      impl.created_at = script.created_at + static_cast<std::int64_t>(t) * 3600000000;
+      impl.try_number = static_cast<std::int64_t>(t + 1);
+      WDOC_TRY(repo.create_implementation(impl));
+
+      dist::DocManifest manifest;
+      manifest.doc_key = impl.starting_url;
+      manifest.home = home;
+
+      for (std::size_t h = 0; h < config.html_per_impl; ++h) {
+        docmodel::HtmlFileInfo file;
+        file.path = impl.starting_url + "/page" + std::to_string(h) + ".html";
+        file.starting_url = impl.starting_url;
+        std::string body = "<html><head><title>" + std::string(subject) +
+                           " page " + std::to_string(h) +
+                           "</title></head><body><h1>Lecture section " +
+                           std::to_string(h) + "</h1></body></html>";
+        file.content.assign(body.begin(), body.end());
+        manifest.structure_bytes += file.content.size();
+        WDOC_TRY(repo.add_html_file(file));
+      }
+      for (std::size_t p = 0; p < config.programs_per_impl; ++p) {
+        docmodel::ProgramFileInfo prog;
+        prog.path = impl.starting_url + "/applet" + std::to_string(p) + ".class";
+        prog.starting_url = impl.starting_url;
+        prog.language = "java";
+        std::string body(1024 + rng.uniform(4096), 'j');
+        prog.content.assign(body.begin(), body.end());
+        manifest.structure_bytes += prog.content.size();
+        WDOC_TRY(repo.add_program_file(prog));
+      }
+
+      // Zipfian resource picks (deduped per implementation).
+      std::set<std::size_t> picked;
+      for (std::size_t a = 0;
+           a < config.resources_per_impl && picked.size() < pool.size(); ++a) {
+        std::size_t slot = zipf.sample(rng);
+        if (!picked.insert(slot).second) continue;
+        const dist::BlobRef& ref = pool[slot];
+        std::int64_t playout_ms =
+            static_cast<std::int64_t>(picked.size() - 1) * 120000;  // every 2 min
+        WDOC_TRY(repo.attach_synthetic_resource("implementation", impl.starting_url,
+                                                ref.digest, ref.size, ref.type,
+                                                playout_ms)
+                     .status());
+        dist::BlobRef with_playout = ref;
+        with_playout.playout_ms = playout_ms;
+        manifest.blobs.push_back(with_playout);
+      }
+      course.implementations.push_back(std::move(manifest));
+    }
+    corpus.courses.push_back(std::move(course));
+  }
+  return corpus;
+}
+
+}  // namespace wdoc::workload

@@ -1,0 +1,69 @@
+// Synthetic course-corpus generation — the stand-in for the MMU project's
+// real course content (DESIGN.md §0). Produces scripts, implementations,
+// HTML/program files and BLOB resources with a Zipfian reuse distribution:
+// popular clips (a university logo animation, a standard intro video) appear
+// in many courses, the tail is course-specific.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/doc_object.hpp"
+#include "docmodel/repository.hpp"
+
+namespace wdoc::workload {
+
+struct CorpusConfig {
+  std::size_t courses = 10;
+  std::size_t impls_per_course = 1;
+  std::size_t html_per_impl = 4;
+  std::size_t programs_per_impl = 1;
+  std::size_t resources_per_impl = 6;
+  // Pool of distinct BLOBs the whole corpus draws from; resource picks are
+  // Zipf(s) over this pool.
+  std::size_t unique_resources = 40;
+  double zipf_s = 1.0;
+  // Media mix for resources (video-heavy lectures by default).
+  double video_fraction = 0.25;
+  double audio_fraction = 0.25;
+  std::uint64_t seed = 1999;
+  // When false, real payload bytes are generated (small sizes only!).
+  bool synthetic_blobs = true;
+  // Scale factor on typical media sizes (1.0 = 1999-era sizes).
+  double size_scale = 1.0;
+  std::int64_t base_time = 915148800000000;  // 1999-01-01 in microseconds
+};
+
+struct GeneratedCourse {
+  std::string script_name;
+  std::string course_number;
+  std::string instructor;
+  std::vector<dist::DocManifest> implementations;
+};
+
+struct Corpus {
+  std::vector<GeneratedCourse> courses;
+
+  [[nodiscard]] std::vector<dist::DocManifest> all_manifests() const {
+    std::vector<dist::DocManifest> out;
+    for (const GeneratedCourse& c : courses) {
+      out.insert(out.end(), c.implementations.begin(), c.implementations.end());
+    }
+    return out;
+  }
+};
+
+// Fills `repo` and returns manifests (one per implementation) ready for the
+// distribution layer. `home` is stamped into every manifest.
+[[nodiscard]] Result<Corpus> generate_corpus(docmodel::Repository& repo,
+                                             const CorpusConfig& config,
+                                             StationId home = StationId{1});
+
+// The distinct BLOB pool of a config: digest/size/type per pool slot,
+// deterministic in the seed. Exposed so experiments can reason about the
+// unique-bytes lower bound.
+[[nodiscard]] std::vector<dist::BlobRef> resource_pool(const CorpusConfig& config);
+
+}  // namespace wdoc::workload

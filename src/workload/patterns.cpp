@@ -1,0 +1,113 @@
+#include "workload/patterns.hpp"
+
+namespace wdoc::workload {
+
+std::vector<EditOp> editing_workload(std::size_t users, std::size_t nodes,
+                                     std::size_t ops, double write_fraction,
+                                     std::uint64_t seed) {
+  WDOC_CHECK(users > 0 && nodes > 0, "editing_workload: empty domain");
+  Rng rng(seed);
+  std::vector<EditOp> out;
+  out.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    EditOp op;
+    op.user = UserId{rng.uniform(users) + 1};
+    op.node_index = rng.uniform(nodes);
+    op.write = rng.bernoulli(write_fraction);
+    out.push_back(op);
+  }
+  return out;
+}
+
+std::vector<AccessOp> zipf_access_trace(std::size_t stations, std::size_t docs,
+                                        std::size_t ops, double zipf_s,
+                                        std::uint64_t seed) {
+  WDOC_CHECK(stations > 0 && docs > 0, "zipf_access_trace: empty domain");
+  Rng rng(seed);
+  ZipfSampler zipf(docs, zipf_s);
+  std::vector<AccessOp> out;
+  out.reserve(ops);
+  for (std::size_t i = 0; i < ops; ++i) {
+    AccessOp op;
+    op.station_index = rng.uniform(stations);
+    op.doc_index = zipf.sample(rng);
+    out.push_back(op);
+  }
+  return out;
+}
+
+docmodel::TraversalLog random_traversal(const std::string& base_url, std::size_t pages,
+                                        std::size_t events, std::uint64_t seed) {
+  Rng rng(seed);
+  docmodel::TraversalLog log;
+  std::int64_t t = 0;
+  std::size_t current_page = 0;
+  for (std::size_t i = 0; i < events; ++i) {
+    t += static_cast<std::int64_t>(500 + rng.uniform(8000));
+    docmodel::TraversalEvent ev;
+    ev.at_ms = t;
+    double u = rng.uniform01();
+    if (u < 0.35 && pages > 0) {
+      ev.kind = docmodel::TraversalEventKind::navigate;
+      current_page = rng.uniform(pages);
+      ev.target = base_url + "/page" + std::to_string(current_page) + ".html";
+    } else if (u < 0.6) {
+      ev.kind = docmodel::TraversalEventKind::click;
+      ev.x = static_cast<std::int32_t>(rng.uniform(1024));
+      ev.y = static_cast<std::int32_t>(rng.uniform(768));
+    } else if (u < 0.8) {
+      ev.kind = docmodel::TraversalEventKind::scroll;
+      ev.y = static_cast<std::int32_t>(rng.uniform(600)) - 300;
+    } else if (u < 0.9) {
+      ev.kind = docmodel::TraversalEventKind::back;
+    } else {
+      ev.kind = docmodel::TraversalEventKind::play_media;
+      ev.target = "resource-" + std::to_string(rng.uniform(8));
+    }
+    log.add(std::move(ev));
+  }
+  docmodel::TraversalEvent close;
+  close.kind = docmodel::TraversalEventKind::close;
+  close.at_ms = t + 1000;
+  log.add(close);
+  return log;
+}
+
+docmodel::AnnotationDoc random_annotation(std::size_t ops, std::uint64_t seed) {
+  Rng rng(seed);
+  docmodel::AnnotationDoc doc;
+  std::int64_t t = 0;
+  for (std::size_t i = 0; i < ops; ++i) {
+    docmodel::DrawOp op;
+    t += static_cast<std::int64_t>(200 + rng.uniform(3000));
+    op.at_ms = t;
+    double u = rng.uniform01();
+    op.a = {static_cast<std::int32_t>(rng.uniform(1024)),
+            static_cast<std::int32_t>(rng.uniform(768))};
+    op.b = {static_cast<std::int32_t>(rng.uniform(1024)),
+            static_cast<std::int32_t>(rng.uniform(768))};
+    op.color = static_cast<std::uint32_t>(rng.next_u64());
+    op.stroke_width = static_cast<std::uint16_t>(1 + rng.uniform(5));
+    if (u < 0.4) {
+      op.kind = docmodel::DrawOpKind::line;
+    } else if (u < 0.6) {
+      op.kind = docmodel::DrawOpKind::rect;
+    } else if (u < 0.7) {
+      op.kind = docmodel::DrawOpKind::ellipse;
+    } else if (u < 0.9) {
+      op.kind = docmodel::DrawOpKind::text;
+      op.text = "note-" + std::to_string(i);
+    } else {
+      op.kind = docmodel::DrawOpKind::freehand;
+      std::size_t n = 3 + rng.uniform(12);
+      for (std::size_t j = 0; j < n; ++j) {
+        op.points.push_back({static_cast<std::int32_t>(rng.uniform(1024)),
+                             static_cast<std::int32_t>(rng.uniform(768))});
+      }
+    }
+    doc.add(std::move(op));
+  }
+  return doc;
+}
+
+}  // namespace wdoc::workload

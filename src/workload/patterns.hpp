@@ -1,0 +1,49 @@
+// Access-pattern generators: collaborative-editing mixes (E7), Zipfian
+// remote-read traces (E5), random traversal logs and annotations for the QA
+// and authoring paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "docmodel/annotation_ops.hpp"
+#include "docmodel/traversal.hpp"
+
+namespace wdoc::workload {
+
+struct EditOp {
+  UserId user;
+  std::size_t node_index = 0;  // index into the caller's node table
+  bool write = false;
+};
+
+// `ops` operations by `users` users over `nodes` lockable objects;
+// `write_fraction` of operations are writes. Node choice is uniform.
+[[nodiscard]] std::vector<EditOp> editing_workload(std::size_t users, std::size_t nodes,
+                                                   std::size_t ops, double write_fraction,
+                                                   std::uint64_t seed);
+
+struct AccessOp {
+  std::size_t station_index = 0;
+  std::size_t doc_index = 0;
+};
+
+// `ops` document reads issued from random stations, with Zipf(s) document
+// popularity (doc 0 hottest).
+[[nodiscard]] std::vector<AccessOp> zipf_access_trace(std::size_t stations,
+                                                      std::size_t docs, std::size_t ops,
+                                                      double zipf_s, std::uint64_t seed);
+
+// A plausible QA browsing session over `pages` pages of an implementation.
+[[nodiscard]] docmodel::TraversalLog random_traversal(const std::string& base_url,
+                                                      std::size_t pages,
+                                                      std::size_t events,
+                                                      std::uint64_t seed);
+
+// Instructor scribbles: `ops` random draw operations.
+[[nodiscard]] docmodel::AnnotationDoc random_annotation(std::size_t ops,
+                                                        std::uint64_t seed);
+
+}  // namespace wdoc::workload

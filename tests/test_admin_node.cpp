@@ -1,0 +1,138 @@
+// AdminNode/AdminClient tests: join protocol, vector propagation, live tree
+// reconfiguration, and an end-to-end broadcast through an admin-built tree.
+#include <gtest/gtest.h>
+
+#include "dist/admin_node.hpp"
+#include "net/sim_network.hpp"
+
+namespace wdoc::dist {
+namespace {
+
+struct Member {
+  StationId id;
+  std::unique_ptr<blob::BlobStore> blobs;
+  std::unique_ptr<ObjectStore> store;
+  std::unique_ptr<StationNode> node;
+  std::unique_ptr<AdminClient> client;
+};
+
+class AdminFixture : public ::testing::Test {
+ protected:
+  AdminFixture() : net_(5) {
+    admin_id_ = net_.add_station();
+    admin_ = std::make_unique<AdminNode>(net_, admin_id_, coordinator_, /*m=*/3);
+    admin_->bind();
+  }
+
+  Member& add_member() {
+    auto m = std::make_unique<Member>();
+    m->id = net_.add_station();
+    m->blobs = std::make_unique<blob::BlobStore>();
+    m->store = std::make_unique<ObjectStore>(*m->blobs);
+    m->node = std::make_unique<StationNode>(net_, m->id, *m->store);
+    m->client = std::make_unique<AdminClient>(net_, *m->node, admin_id_);
+    m->client->bind();
+    members_.push_back(std::move(m));
+    return *members_.back();
+  }
+
+  net::SimNetwork net_;
+  Coordinator coordinator_;
+  StationId admin_id_;
+  std::unique_ptr<AdminNode> admin_;
+  std::vector<std::unique_ptr<Member>> members_;
+};
+
+TEST_F(AdminFixture, JoinAssignsPositionsInArrivalOrder) {
+  std::vector<std::uint64_t> positions;
+  for (int i = 0; i < 5; ++i) {
+    Member& m = add_member();
+    ASSERT_TRUE(m.client
+                    ->request_join([&](std::uint64_t pos) { positions.push_back(pos); })
+                    .is_ok());
+    net_.run();
+  }
+  EXPECT_EQ(positions, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(admin_->joins_served(), 5u);
+  for (auto& m : members_) {
+    EXPECT_TRUE(m->client->joined());
+  }
+}
+
+TEST_F(AdminFixture, VectorPropagatesToEveryMember) {
+  for (int i = 0; i < 7; ++i) {
+    Member& m = add_member();
+    ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+    net_.run();
+  }
+  // Every node knows its position and its parent (m=3).
+  EXPECT_EQ(members_[0]->node->position(), 1u);
+  EXPECT_EQ(members_[6]->node->position(), 7u);
+  EXPECT_EQ(members_[6]->node->parent_station(), members_[1]->id);  // pos 7 -> parent 2
+}
+
+TEST_F(AdminFixture, LateJoinReconfiguresExistingMembers) {
+  for (int i = 0; i < 3; ++i) {
+    Member& m = add_member();
+    ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+  }
+  net_.run();
+  // With 3 members, m=3: all children of the root.
+  EXPECT_EQ(members_[2]->node->parent_station(), members_[0]->id);
+
+  // Member 4 joins; everyone's vector refreshes automatically.
+  Member& late = add_member();
+  ASSERT_TRUE(late.client->request_join(nullptr).is_ok());
+  net_.run();
+  EXPECT_EQ(late.node->position(), 4u);
+  EXPECT_EQ(late.node->parent_station(), members_[0]->id);
+  // Existing members saw the new vector too (position unchanged, vector longer).
+  EXPECT_EQ(members_[1]->node->position(), 2u);
+}
+
+TEST_F(AdminFixture, SetMRebroadcastsAndReshapesTree) {
+  for (int i = 0; i < 7; ++i) {
+    Member& m = add_member();
+    ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+  }
+  net_.run();
+  EXPECT_EQ(members_[6]->node->parent_station(), members_[1]->id);  // m=3
+  ASSERT_TRUE(admin_->set_m(2).is_ok());
+  net_.run();
+  EXPECT_EQ(members_[6]->node->parent_station(), members_[2]->id);  // m=2: 7 -> 3
+  EXPECT_EQ(admin_->set_m(0).code(), Errc::invalid_argument);
+}
+
+TEST_F(AdminFixture, BroadcastWorksThroughAdminBuiltTree) {
+  for (int i = 0; i < 13; ++i) {
+    Member& m = add_member();
+    ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+  }
+  net_.run();
+
+  DocManifest doc;
+  doc.doc_key = "http://mmu.edu/lecture";
+  doc.structure_bytes = 5000;
+  doc.home = members_[0]->id;
+  ASSERT_TRUE(members_[0]->node->broadcast_push(doc).is_ok());
+  net_.run();
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    EXPECT_TRUE(members_[i]->store->has_materialized(doc.doc_key)) << i;
+  }
+  // Distribution messages flowed through the AdminClient demultiplexer.
+  EXPECT_GT(members_[1]->node->stats().pushes_received, 0u);
+}
+
+TEST_F(AdminFixture, DuplicateJoinKeepsPosition) {
+  Member& m = add_member();
+  ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+  net_.run();
+  ASSERT_TRUE(m.client->request_join(nullptr).is_ok());
+  net_.run();
+  EXPECT_EQ(coordinator_.station_count(), 1u);
+  EXPECT_EQ(m.node->position(), 1u);
+  EXPECT_EQ(admin_->joins_served(), 2u);
+}
+
+}  // namespace
+}  // namespace wdoc::dist

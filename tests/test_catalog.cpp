@@ -1,0 +1,210 @@
+// Catalog tests: table namespace, FK validation, referential actions
+// (restrict / cascade / set_null), and the mutation-observer hook.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.hpp"
+
+namespace wdoc::storage {
+namespace {
+
+Schema parents_schema() {
+  return Schema("parents",
+                {Column{"name", ValueType::text, false, false, false},
+                 Column{"payload", ValueType::integer, true, false, false}},
+                "name");
+}
+
+Schema children_schema(RefAction action) {
+  return Schema("children",
+                {Column{"id", ValueType::integer, false, true, false},
+                 Column{"parent", ValueType::text, true, false, true}},
+                "",
+                {ForeignKey{"parent", "parents", "name", action}});
+}
+
+TEST(Catalog, CreateAndDropTables) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  EXPECT_TRUE(c.has_table("parents"));
+  EXPECT_EQ(c.create_table(parents_schema()).code(), Errc::already_exists);
+  ASSERT_TRUE(c.drop_table("parents").is_ok());
+  EXPECT_FALSE(c.has_table("parents"));
+  EXPECT_EQ(c.drop_table("parents").code(), Errc::not_found);
+}
+
+TEST(Catalog, FkRequiresExistingUniqueParentColumn) {
+  Catalog c;
+  // Parent table missing.
+  EXPECT_EQ(c.create_table(children_schema(RefAction::restrict)).code(),
+            Errc::invalid_argument);
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  // Parent column not unique.
+  Schema bad("bad", {Column{"x", ValueType::integer, false, false, false}}, "",
+             {ForeignKey{"x", "parents", "payload", RefAction::restrict}});
+  EXPECT_EQ(c.create_table(bad).code(), Errc::invalid_argument);
+}
+
+TEST(Catalog, InsertChecksForeignKey) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  EXPECT_EQ(c.insert("children", {Value(1), Value("nobody")}).code(),
+            Errc::constraint_violation);
+  ASSERT_TRUE(c.insert("parents", {Value("p1"), Value(0)}).is_ok());
+  EXPECT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  // NULL FK is allowed (orphan rows permitted when nullable).
+  EXPECT_TRUE(c.insert("children", {Value(2), Value::null()}).is_ok());
+}
+
+TEST(Catalog, DeleteRestrict) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  RowId p = c.insert("parents", {Value("p1"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  EXPECT_EQ(c.erase("parents", p).code(), Errc::constraint_violation);
+  // Remove the child; now the parent can go.
+  RowId child = c.table("children")->find_equal("id", Value(1)).front();
+  ASSERT_TRUE(c.erase("children", child).is_ok());
+  EXPECT_TRUE(c.erase("parents", p).is_ok());
+}
+
+TEST(Catalog, DeleteCascade) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::cascade)).is_ok());
+  RowId p = c.insert("parents", {Value("p1"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  ASSERT_TRUE(c.insert("children", {Value(2), Value("p1")}).is_ok());
+  ASSERT_TRUE(c.insert("children", {Value(3), Value::null()}).is_ok());
+  ASSERT_TRUE(c.erase("parents", p).is_ok());
+  EXPECT_EQ(c.table("children")->row_count(), 1u);  // only the orphan remains
+}
+
+TEST(Catalog, DeleteSetNull) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::set_null)).is_ok());
+  RowId p = c.insert("parents", {Value("p1"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  ASSERT_TRUE(c.erase("parents", p).is_ok());
+  RowId child = c.table("children")->find_equal("id", Value(1)).front();
+  EXPECT_TRUE(c.table("children")->get(child)->at(1).is_null());
+}
+
+TEST(Catalog, TransitiveCascade) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  Schema mid("mid",
+             {Column{"name", ValueType::text, false, false, false},
+              Column{"parent", ValueType::text, false, false, true}},
+             "name", {ForeignKey{"parent", "parents", "name", RefAction::cascade}});
+  ASSERT_TRUE(c.create_table(mid).is_ok());
+  Schema leaf("leaf",
+              {Column{"id", ValueType::integer, false, true, false},
+               Column{"mid", ValueType::text, false, false, true}},
+              "", {ForeignKey{"mid", "mid", "name", RefAction::cascade}});
+  ASSERT_TRUE(c.create_table(leaf).is_ok());
+
+  RowId p = c.insert("parents", {Value("root"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("mid", {Value("m1"), Value("root")}).is_ok());
+  ASSERT_TRUE(c.insert("leaf", {Value(1), Value("m1")}).is_ok());
+  ASSERT_TRUE(c.insert("leaf", {Value(2), Value("m1")}).is_ok());
+  ASSERT_TRUE(c.erase("parents", p).is_ok());
+  EXPECT_EQ(c.table("mid")->row_count(), 0u);
+  EXPECT_EQ(c.table("leaf")->row_count(), 0u);
+}
+
+TEST(Catalog, DropTableRefusedWhileReferenced) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  EXPECT_EQ(c.drop_table("parents").code(), Errc::constraint_violation);
+  ASSERT_TRUE(c.drop_table("children").is_ok());
+  EXPECT_TRUE(c.drop_table("parents").is_ok());
+}
+
+TEST(Catalog, UpdateKeepsReferencedKeyStable) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  RowId p = c.insert("parents", {Value("p1"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  // Changing a referenced key is refused.
+  EXPECT_EQ(c.update("parents", p, {Value("renamed"), Value(0)}).code(),
+            Errc::constraint_violation);
+  // Updating a non-key column is fine.
+  EXPECT_TRUE(c.update("parents", p, {Value("p1"), Value(9)}).is_ok());
+}
+
+TEST(Catalog, UpdateChildValidatesNewForeignKey) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  ASSERT_TRUE(c.insert("parents", {Value("p1"), Value(0)}).is_ok());
+  RowId child = c.insert("children", {Value(1), Value("p1")}).value();
+  EXPECT_EQ(c.update("children", child, {Value(1), Value("ghost")}).code(),
+            Errc::constraint_violation);
+  ASSERT_TRUE(c.insert("parents", {Value("p2"), Value(0)}).is_ok());
+  EXPECT_TRUE(c.update("children", child, {Value(1), Value("p2")}).is_ok());
+}
+
+TEST(Catalog, SelfReferentialTable) {
+  Catalog c;
+  Schema tree("tree",
+              {Column{"name", ValueType::text, false, false, false},
+               Column{"parent", ValueType::text, true, false, true}},
+              "name", {ForeignKey{"parent", "tree", "name", RefAction::cascade}});
+  ASSERT_TRUE(c.create_table(tree).is_ok());
+  RowId root = c.insert("tree", {Value("root"), Value::null()}).value();
+  ASSERT_TRUE(c.insert("tree", {Value("a"), Value("root")}).is_ok());
+  ASSERT_TRUE(c.insert("tree", {Value("b"), Value("a")}).is_ok());
+  ASSERT_TRUE(c.erase("tree", root).is_ok());
+  EXPECT_EQ(c.table("tree")->row_count(), 0u);
+}
+
+struct RecordingSink : MutationSink {
+  std::vector<Mutation> mutations;
+  void on_mutation(const Mutation& m) override { mutations.push_back(m); }
+};
+
+TEST(Catalog, SinkObservesDirectAndCascadedMutations) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::cascade)).is_ok());
+  RowId p = c.insert("parents", {Value("p1"), Value(0)}).value();
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+
+  RecordingSink sink;
+  ASSERT_TRUE(c.erase("parents", p, &sink).is_ok());
+  ASSERT_EQ(sink.mutations.size(), 2u);
+  EXPECT_EQ(sink.mutations[0].kind, MutationKind::erase);
+  EXPECT_EQ(sink.mutations[0].table, "children");
+  EXPECT_EQ(sink.mutations[1].table, "parents");
+}
+
+TEST(Catalog, DefaultSinkUsedWhenNoExplicitSink) {
+  Catalog c;
+  RecordingSink sink;
+  c.set_default_sink(&sink);
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.insert("parents", {Value("p"), Value(1)}).is_ok());
+  ASSERT_EQ(sink.mutations.size(), 1u);
+  EXPECT_EQ(sink.mutations[0].kind, MutationKind::insert);
+  EXPECT_EQ(sink.mutations[0].after[0].as_text(), "p");
+}
+
+TEST(Catalog, TotalsAggregateAcrossTables) {
+  Catalog c;
+  ASSERT_TRUE(c.create_table(parents_schema()).is_ok());
+  ASSERT_TRUE(c.create_table(children_schema(RefAction::restrict)).is_ok());
+  ASSERT_TRUE(c.insert("parents", {Value("p1"), Value(0)}).is_ok());
+  ASSERT_TRUE(c.insert("children", {Value(1), Value("p1")}).is_ok());
+  EXPECT_EQ(c.total_rows(), 2u);
+  EXPECT_GT(c.total_payload_bytes(), 0u);
+  EXPECT_EQ(c.table_names(), (std::vector<std::string>{"children", "parents"}));
+}
+
+}  // namespace
+}  // namespace wdoc::storage

@@ -1,0 +1,136 @@
+// Decode-robustness fuzzing: every wire/file decoder must reject arbitrary
+// byte soup with a clean error — never crash, hang, or accept garbage that
+// round-trips differently.
+//
+// Strategies per decoder: (a) pure random bytes, (b) a valid encoding with
+// one mutated byte, (c) a valid encoding truncated at every length.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "dist/doc_object.hpp"
+#include "docmodel/annotation_ops.hpp"
+#include "docmodel/traversal.hpp"
+#include "storage/wal.hpp"
+#include "workload/patterns.hpp"
+
+namespace wdoc {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+template <typename DecodeFn>
+void fuzz_decoder(const Bytes& valid, DecodeFn decode, std::uint64_t seed) {
+  Rng rng(seed);
+  // (a) random soup of assorted sizes.
+  for (int i = 0; i < 200; ++i) {
+    Bytes soup = random_bytes(rng, rng.uniform(200));
+    (void)decode(soup);  // must simply not crash
+  }
+  // (b) single-byte mutations of a valid encoding.
+  for (int i = 0; i < 200 && !valid.empty(); ++i) {
+    Bytes mutated = valid;
+    std::size_t pos = rng.uniform(mutated.size());
+    mutated[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform(255));
+    (void)decode(mutated);
+  }
+  // (c) every truncation of the valid encoding.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    auto result = decode(truncated);
+    EXPECT_FALSE(result) << "truncation to " << len << " bytes decoded successfully";
+  }
+}
+
+TEST(DecodeFuzz, AnnotationDoc) {
+  auto doc = workload::random_annotation(12, 5);
+  fuzz_decoder(
+      doc.encode(),
+      [](const Bytes& b) { return docmodel::AnnotationDoc::decode(b).is_ok(); }, 1);
+  // Sanity: the valid encoding still decodes to the original.
+  EXPECT_EQ(docmodel::AnnotationDoc::decode(doc.encode()).expect("valid"), doc);
+}
+
+TEST(DecodeFuzz, TraversalLog) {
+  auto log = workload::random_traversal("http://x", 4, 25, 5);
+  fuzz_decoder(
+      log.encode(),
+      [](const Bytes& b) { return docmodel::TraversalLog::decode(b).is_ok(); }, 2);
+  EXPECT_EQ(docmodel::TraversalLog::decode(log.encode()).expect("valid"), log);
+}
+
+TEST(DecodeFuzz, DocManifest) {
+  dist::DocManifest manifest;
+  manifest.doc_key = "http://mmu.edu/CS101";
+  manifest.structure_bytes = 12345;
+  manifest.home = StationId{7};
+  for (int i = 0; i < 3; ++i) {
+    dist::BlobRef ref;
+    ref.digest = digest128("blob " + std::to_string(i));
+    ref.size = 1000u * static_cast<std::uint64_t>(i + 1);
+    ref.playout_ms = i * 100;
+    manifest.blobs.push_back(ref);
+  }
+  Writer w;
+  manifest.serialize(w);
+  Bytes valid = w.take();
+  fuzz_decoder(
+      valid,
+      [](const Bytes& b) {
+        Reader r(b);
+        auto decoded = dist::DocManifest::deserialize(r);
+        // A successful decode must also consume sensibly (no trailing junk
+        // check here — manifests embed in larger messages).
+        return decoded.is_ok();
+      },
+      3);
+  Reader r(valid);
+  EXPECT_EQ(dist::DocManifest::deserialize(r).expect("valid"), manifest);
+}
+
+TEST(DecodeFuzz, WalRecord) {
+  storage::LogRecord rec;
+  rec.kind = storage::LogKind::update;
+  rec.txn = 9;
+  rec.table = "wd_script";
+  rec.row = RowId{42};
+  rec.before = {storage::Value("old"), storage::Value(1)};
+  rec.after = {storage::Value("new"), storage::Value(2)};
+  Bytes valid = rec.encode();
+  fuzz_decoder(
+      valid,
+      [](const Bytes& b) { return storage::LogRecord::decode(b).is_ok(); }, 4);
+}
+
+TEST(DecodeFuzz, ValueStream) {
+  Writer w;
+  storage::Value("text").serialize(w);
+  storage::Value(std::int64_t{-5}).serialize(w);
+  storage::Value(Bytes{1, 2, 3}).serialize(w);
+  Bytes valid = w.take();
+  Rng rng(6);
+  for (int i = 0; i < 300; ++i) {
+    Bytes soup = random_bytes(rng, rng.uniform(64));
+    Reader r(soup);
+    while (true) {
+      auto v = storage::Value::deserialize(r);
+      if (!v.is_ok()) break;  // error path must terminate the stream cleanly
+      if (r.at_end()) break;
+    }
+  }
+  // Truncations of a valid stream fail cleanly on the cut value.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<std::ptrdiff_t>(len));
+    Reader r(truncated);
+    while (true) {
+      auto v = storage::Value::deserialize(r);
+      if (!v.is_ok() || r.at_end()) break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wdoc

@@ -1,0 +1,199 @@
+// Randomized end-to-end property test: a whole simulated semester with a
+// random course corpus, random lecture schedule, lossy links, pulls, and
+// library traffic — checking cross-cutting invariants after every phase:
+//
+//   I1  every lecture ends fully distributed (push + repair converge);
+//   I2  after migration, student disk returns to zero while reference
+//       records persist;
+//   I3  BlobStore accounting is consistent at every station
+//       (logical >= stored, stored == sum of live entry sizes);
+//   I4  the library ledger balances (open loans == check-outs - check-ins);
+//   I5  the instructor's persistent data is never disturbed;
+//   I6  fetches of distributed documents never fail.
+#include <gtest/gtest.h>
+
+#include "dist/lecture.hpp"
+#include "library/virtual_library.hpp"
+#include "net/sim_network.hpp"
+#include "workload/corpus.hpp"
+
+namespace wdoc {
+namespace {
+
+struct E2eParam {
+  std::uint64_t seed;
+  std::size_t stations;
+  std::size_t courses;
+  double loss;
+  std::uint64_t m;
+};
+
+class SemesterProperty : public ::testing::TestWithParam<E2eParam> {};
+
+TEST_P(SemesterProperty, InvariantsHoldThroughTheSemester) {
+  const E2eParam p = GetParam();
+  Rng rng(p.seed);
+
+  net::SimNetwork net(p.seed);
+  net::StationLink link;
+  link.loss_rate = p.loss;
+
+  struct Station {
+    StationId id;
+    std::unique_ptr<blob::BlobStore> blobs;
+    std::unique_ptr<dist::ObjectStore> store;
+    std::unique_ptr<dist::StationNode> node;
+  };
+  std::vector<Station> stations;
+  std::vector<StationId> vec;
+  for (std::size_t i = 0; i < p.stations; ++i) {
+    Station s;
+    s.id = net.add_station(link);
+    s.blobs = std::make_unique<blob::BlobStore>();
+    s.store = std::make_unique<dist::ObjectStore>(*s.blobs);
+    s.node = std::make_unique<dist::StationNode>(net, s.id, *s.store);
+    s.node->bind();
+    vec.push_back(s.id);
+    stations.push_back(std::move(s));
+  }
+  for (auto& s : stations) s.node->set_tree(vec, p.m);
+
+  // Instructor-side corpus (repository on station 0's conceptual database).
+  auto db = storage::Database::in_memory();
+  blob::BlobStore instructor_blobs;
+  docmodel::Repository repo(*db, instructor_blobs);
+  docmodel::install_schemas(*db).expect("schemas");
+  workload::CorpusConfig cfg;
+  cfg.courses = p.courses;
+  cfg.impls_per_course = 1;
+  cfg.seed = p.seed;
+  auto corpus = workload::generate_corpus(repo, cfg, stations[0].id).expect("corpus");
+  auto manifests = corpus.all_manifests();
+
+  wdoc::library::VirtualLibrary lib;
+  for (const auto& course : corpus.courses) {
+    wdoc::library::LibraryEntry entry;
+    entry.course_number = course.course_number;
+    entry.title = course.script_name;
+    entry.instructor = course.instructor;
+    entry.script_name = course.script_name;
+    entry.starting_url = course.implementations[0].doc_key;
+    lib.add_entry(entry).expect("entry");
+  }
+
+  std::vector<dist::StationNode*> audience;
+  for (std::size_t i = 1; i < stations.size(); ++i) {
+    audience.push_back(stations[i].node.get());
+  }
+
+  std::int64_t clock = 0;
+  std::size_t open_loans = 0;
+  std::size_t checkouts_total = 0;
+
+  for (std::size_t week = 0; week < manifests.size(); ++week) {
+    const auto& manifest = manifests[week % manifests.size()];
+    ASSERT_TRUE(stations[0].store->doc(manifest.doc_key) != nullptr ||
+                stations[0].store->put_instance(manifest, false).is_ok());
+
+    // Some students check the course out before class.
+    const auto& course = corpus.courses[week % corpus.courses.size()];
+    for (std::size_t s = 0; s < 3; ++s) {
+      UserId student{100 + rng.uniform(50)};
+      clock += 10;
+      Status st = lib.check_out(course.course_number, student, clock);
+      if (st.is_ok()) {
+        ++open_loans;
+        ++checkouts_total;
+      } else {
+        ASSERT_EQ(st.code(), Errc::already_exists);
+      }
+    }
+
+    // I1: lecture distributes fully, even over loss.
+    dist::LectureSession lecture(LectureId{week + 1}, manifest, *stations[0].node,
+                                 audience);
+    ASSERT_TRUE(lecture.begin().is_ok());
+    net.run();
+    int rounds = 0;
+    while (!lecture.fully_distributed() && rounds < 60) {
+      ASSERT_TRUE(lecture.repair().is_ok());
+      net.run();
+      ++rounds;
+    }
+    ASSERT_TRUE(lecture.fully_distributed())
+        << "week " << week << " never converged (seed " << p.seed << ")";
+
+    // I6: a random student's fetch of the live lecture resolves locally.
+    std::size_t reader = 1 + rng.uniform(stations.size() - 1);
+    bool fetched = false;
+    ASSERT_TRUE(stations[reader]
+                    .node
+                    ->fetch(manifest.doc_key,
+                            [&](Result<dist::DocManifest> r, SimTime) {
+                              fetched = r.is_ok();
+                            })
+                    .is_ok());
+    net.run();
+    ASSERT_TRUE(fetched);
+
+    (void)lecture.end();
+
+    // I2: student disk empty, references retained.
+    for (std::size_t i = 1; i < stations.size(); ++i) {
+      ASSERT_EQ(stations[i].store->disk_bytes(), 0u)
+          << "station " << i << " week " << week;
+      const dist::StoredDoc* d = stations[i].store->doc(manifest.doc_key);
+      ASSERT_NE(d, nullptr);
+      EXPECT_EQ(d->form, dist::ObjectForm::reference);
+    }
+    // I3: blob accounting — after migration every student reference was
+    // released (logical bytes zero; stored bytes linger only as
+    // gc-reclaimable buffers), while the instructor's logical bytes cover
+    // its persistent instances.
+    for (std::size_t i = 1; i < stations.size(); ++i) {
+      EXPECT_EQ(stations[i].blobs->logical_bytes(), 0u) << "station " << i;
+    }
+    EXPECT_GE(stations[0].blobs->logical_bytes(),
+              stations[0].blobs->stored_bytes());
+    // I5: instructor keeps every lecture so far.
+    for (std::size_t w = 0; w <= week; ++w) {
+      EXPECT_TRUE(stations[0].store->has_materialized(manifests[w].doc_key));
+    }
+
+    // Some students return the course.
+    for (UserId holder : lib.holders_of(course.course_number)) {
+      if (rng.bernoulli(0.5)) {
+        clock += 10;
+        ASSERT_TRUE(lib.check_in(course.course_number, holder, clock).is_ok());
+        --open_loans;
+      }
+    }
+    // I4: ledger balances.
+    std::size_t open_now = 0;
+    for (const auto& c : corpus.courses) {
+      open_now += lib.holders_of(c.course_number).size();
+    }
+    ASSERT_EQ(open_now, open_loans);
+  }
+
+  // Semester-end: every station's buffer space is reclaimable to zero.
+  for (std::size_t i = 1; i < stations.size(); ++i) {
+    (void)stations[i].blobs->gc();
+    EXPECT_EQ(stations[i].blobs->stored_bytes(), 0u);
+  }
+  EXPECT_GT(checkouts_total, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SemesterProperty,
+    ::testing::Values(E2eParam{1, 10, 4, 0.0, 2}, E2eParam{2, 16, 6, 0.15, 3},
+                      E2eParam{3, 25, 5, 0.30, 2}, E2eParam{4, 8, 3, 0.10, 4},
+                      E2eParam{5, 31, 8, 0.20, 3}),
+    [](const ::testing::TestParamInfo<E2eParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.stations) + "_loss" +
+             std::to_string(static_cast<int>(info.param.loss * 100));
+    });
+
+}  // namespace
+}  // namespace wdoc

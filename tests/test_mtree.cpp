@@ -1,0 +1,171 @@
+// Tests for the paper's m-ary tree equations: exact values from the text,
+// an exhaustive parameterized inverse-property sweep ("proved by
+// mathematical induction ... also implemented in our system"), and the
+// adaptive-m estimator.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dist/mtree.hpp"
+
+namespace wdoc::dist {
+namespace {
+
+TEST(MTree, ChildEquationMatchesPaperExamples) {
+  // m=3, root (n=1): children at 2, 3, 4.
+  EXPECT_EQ(child_position(1, 1, 3), 2u);
+  EXPECT_EQ(child_position(1, 2, 3), 3u);
+  EXPECT_EQ(child_position(1, 3, 3), 4u);
+  // m=3, n=2: children at 5, 6, 7.
+  EXPECT_EQ(child_position(2, 1, 3), 5u);
+  EXPECT_EQ(child_position(2, 3, 3), 7u);
+  // Binary tree: standard heap layout 2n, 2n+1.
+  EXPECT_EQ(child_position(5, 1, 2), 10u);
+  EXPECT_EQ(child_position(5, 2, 2), 11u);
+}
+
+TEST(MTree, ParentEquationMatchesPaperExamples) {
+  EXPECT_EQ(parent_position(2, 3), 1u);
+  EXPECT_EQ(parent_position(4, 3), 1u);
+  EXPECT_EQ(parent_position(5, 3), 2u);
+  EXPECT_EQ(parent_position(7, 3), 2u);
+  EXPECT_EQ(parent_position(8, 3), 3u);
+  // Binary heap parent k/2.
+  EXPECT_EQ(parent_position(10, 2), 5u);
+  EXPECT_EQ(parent_position(11, 2), 5u);
+}
+
+TEST(MTree, ChainWhenMIsOne) {
+  // m=1 degenerates to a chain: child(n) = n+1, parent(k) = k-1.
+  EXPECT_EQ(child_position(1, 1, 1), 2u);
+  EXPECT_EQ(child_position(7, 1, 1), 8u);
+  EXPECT_EQ(parent_position(8, 1), 7u);
+  EXPECT_EQ(tree_depth(10, 1), 9u);
+}
+
+TEST(MTree, ChildrenOfClipsAtN) {
+  EXPECT_EQ(children_of(1, 3, 10), (std::vector<std::uint64_t>{2, 3, 4}));
+  EXPECT_EQ(children_of(3, 3, 10), (std::vector<std::uint64_t>{8, 9, 10}));
+  EXPECT_EQ(children_of(4, 3, 10), std::vector<std::uint64_t>{});
+  EXPECT_EQ(children_of(3, 3, 9), (std::vector<std::uint64_t>{8, 9}));
+}
+
+TEST(MTree, DepthOfFollowsLevels) {
+  EXPECT_EQ(depth_of(1, 3), 0u);
+  for (std::uint64_t k = 2; k <= 4; ++k) EXPECT_EQ(depth_of(k, 3), 1u);
+  for (std::uint64_t k = 5; k <= 13; ++k) EXPECT_EQ(depth_of(k, 3), 2u) << k;
+  EXPECT_EQ(depth_of(14, 3), 3u);
+}
+
+TEST(MTree, AncestryEndsAtRoot) {
+  auto chain = ancestry(14, 3);
+  ASSERT_GE(chain.size(), 2u);
+  EXPECT_EQ(chain.front(), 14u);
+  EXPECT_EQ(chain.back(), 1u);
+  // Each consecutive pair is a parent link.
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    EXPECT_EQ(parent_position(chain[i], 3), chain[i + 1]);
+  }
+}
+
+// --- exhaustive inverse-property sweep -------------------------------------
+
+class MTreeInverse : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MTreeInverse, ParentOfChildIsSelf) {
+  const std::uint64_t m = GetParam();
+  for (std::uint64_t n = 1; n <= 4096; ++n) {
+    for (std::uint64_t i = 1; i <= m; ++i) {
+      std::uint64_t c = child_position(n, i, m);
+      ASSERT_EQ(parent_position(c, m), n) << "m=" << m << " n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_P(MTreeInverse, EveryPositionHasExactlyOneParentSlot) {
+  const std::uint64_t m = GetParam();
+  for (std::uint64_t k = 2; k <= 4096; ++k) {
+    std::uint64_t p = parent_position(k, m);
+    ASSERT_GE(p, 1u);
+    ASSERT_LT(p, k);  // parents joined earlier (breadth-first order)
+    // k must appear among p's children.
+    bool found = false;
+    for (std::uint64_t i = 1; i <= m; ++i) {
+      if (child_position(p, i, m) == k) {
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "m=" << m << " k=" << k;
+  }
+}
+
+TEST_P(MTreeInverse, ChildPositionsPartitionTheStations) {
+  const std::uint64_t m = GetParam();
+  const std::uint64_t N = 2000;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t n = 1; n <= N; ++n) {
+    for (std::uint64_t c : children_of(n, m, N)) {
+      ASSERT_TRUE(seen.insert(c).second) << "duplicate child " << c;
+    }
+  }
+  // Every station except the root is someone's child.
+  EXPECT_EQ(seen.size(), N - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(FanOuts, MTreeInverse,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "m" + std::to_string(info.param);
+                         });
+
+// --- depth and makespan ----------------------------------------------------
+
+TEST(MTree, TreeDepthShrinksWithM) {
+  EXPECT_GT(tree_depth(1000, 2), tree_depth(1000, 4));
+  EXPECT_GT(tree_depth(1000, 4), tree_depth(1000, 16));
+  EXPECT_EQ(tree_depth(1, 3), 0u);
+}
+
+TEST(MTree, MakespanZeroForSingleStation) {
+  EXPECT_DOUBLE_EQ(estimate_makespan_s(1, 4, 1 << 20, 1e6, 0.02), 0.0);
+}
+
+TEST(MTree, MakespanPenalizesExtremes) {
+  // For a big lecture over many stations, both the chain (m=1, deep) and
+  // the star (m=N-1, root-serialized) lose to a moderate fan-out.
+  const std::uint64_t N = 255;
+  const std::uint64_t bytes = 10 << 20;
+  const double bps = 10e6;
+  const double lat = 0.02;
+  double chain = estimate_makespan_s(N, 1, bytes, bps, lat);
+  double star = estimate_makespan_s(N, N - 1, bytes, bps, lat);
+  double mid = estimate_makespan_s(N, 3, bytes, bps, lat);
+  EXPECT_LT(mid, chain);
+  EXPECT_LT(mid, star);
+}
+
+TEST(MTree, ChooseMPicksArgmin) {
+  const std::uint64_t N = 255;
+  const std::uint64_t bytes = 10 << 20;
+  std::uint64_t best = choose_m(N, bytes, 10e6, 0.02);
+  double best_t = estimate_makespan_s(N, best, bytes, 10e6, 0.02);
+  for (std::uint64_t m = 1; m <= 16; ++m) {
+    EXPECT_LE(best_t, estimate_makespan_s(N, m, bytes, 10e6, 0.02) + 1e-12);
+  }
+}
+
+TEST(MTree, ChooseMAdaptsToLatency) {
+  // When latency dominates (tiny payload), fewer, wider levels win: m rises.
+  std::uint64_t m_small_payload = choose_m(1000, 1 << 10, 10e6, 0.5);
+  // When serialization dominates (huge payload), narrow trees win: m drops.
+  std::uint64_t m_large_payload = choose_m(1000, 100 << 20, 10e6, 0.001);
+  EXPECT_GT(m_small_payload, m_large_payload);
+}
+
+TEST(MTree, ChooseMSingleStation) {
+  EXPECT_EQ(choose_m(1, 1 << 20, 1e6, 0.02), 1u);
+}
+
+}  // namespace
+}  // namespace wdoc::dist

@@ -1,0 +1,133 @@
+// Query-layer tests: predicates, index-driven execution, ordering,
+// projection, limits and aggregates.
+#include <gtest/gtest.h>
+
+#include "storage/query.hpp"
+
+namespace wdoc::storage {
+namespace {
+
+class QueryFixture : public ::testing::Test {
+ protected:
+  QueryFixture()
+      : table_(Schema("courses",
+                      {Column{"name", ValueType::text, false, false, false},
+                       Column{"instructor", ValueType::text, true, false, true},
+                       Column{"credits", ValueType::integer, true, false, false},
+                       Column{"rating", ValueType::real, true, false, false}},
+                      "name")) {
+    const char* instructors[] = {"shih", "ma", "huang"};
+    for (int i = 0; i < 30; ++i) {
+      auto r = table_.insert({Value("c" + std::to_string(i)),
+                              Value(instructors[i % 3]), Value(i % 5),
+                              Value(static_cast<double>(i) / 10.0)});
+      WDOC_CHECK(r.is_ok(), "fixture insert failed");
+    }
+  }
+  Table table_;
+};
+
+TEST_F(QueryFixture, WhereEqOnIndexedColumn) {
+  auto rows = Query(table_).where_eq("instructor", Value("ma")).run();
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_EQ(rows.value().size(), 10u);
+  for (const QueryRow& r : rows.value()) {
+    EXPECT_EQ(r.values[1].as_text(), "ma");
+  }
+}
+
+TEST_F(QueryFixture, ConjunctionOfPredicates) {
+  auto rows = Query(table_)
+                  .where_eq("instructor", Value("shih"))
+                  .where("credits", CmpOp::ge, Value(3))
+                  .run();
+  ASSERT_TRUE(rows.is_ok());
+  for (const QueryRow& r : rows.value()) {
+    EXPECT_EQ(r.values[1].as_text(), "shih");
+    EXPECT_GE(r.values[2].as_int(), 3);
+  }
+  EXPECT_FALSE(rows.value().empty());
+}
+
+TEST_F(QueryFixture, RangeOperators) {
+  auto count = Query(table_).where("credits", CmpOp::lt, Value(2)).count();
+  ASSERT_TRUE(count.is_ok());
+  EXPECT_EQ(count.value(), 12u);  // credits 0 and 1: 6 each
+  auto ne = Query(table_).where("credits", CmpOp::ne, Value(0)).count();
+  EXPECT_EQ(ne.value(), 24u);
+}
+
+TEST_F(QueryFixture, ContainsOnText) {
+  auto rows = Query(table_).where("name", CmpOp::contains, Value("c1")).run();
+  ASSERT_TRUE(rows.is_ok());
+  // c1, c10..c19 = 11 matches.
+  EXPECT_EQ(rows.value().size(), 11u);
+}
+
+TEST_F(QueryFixture, OrderByAscendingAndDescending) {
+  auto asc = Query(table_).order_by("rating").limit(3).run();
+  ASSERT_TRUE(asc.is_ok());
+  ASSERT_EQ(asc.value().size(), 3u);
+  EXPECT_DOUBLE_EQ(asc.value()[0].values[3].as_real(), 0.0);
+  auto desc = Query(table_).order_by("rating", /*ascending=*/false).limit(1).run();
+  EXPECT_DOUBLE_EQ(desc.value()[0].values[3].as_real(), 2.9);
+}
+
+TEST_F(QueryFixture, ProjectionSelectsColumns) {
+  auto rows = Query(table_)
+                  .where_eq("instructor", Value("huang"))
+                  .select({"name", "credits"})
+                  .run();
+  ASSERT_TRUE(rows.is_ok());
+  ASSERT_FALSE(rows.value().empty());
+  EXPECT_EQ(rows.value()[0].values.size(), 2u);
+  EXPECT_EQ(rows.value()[0].values[0].type(), ValueType::text);
+  EXPECT_EQ(rows.value()[0].values[1].type(), ValueType::integer);
+}
+
+TEST_F(QueryFixture, LimitTruncates) {
+  auto rows = Query(table_).limit(7).run();
+  ASSERT_TRUE(rows.is_ok());
+  EXPECT_EQ(rows.value().size(), 7u);
+}
+
+TEST_F(QueryFixture, FirstReturnsOptionals) {
+  auto hit = Query(table_).where_eq("name", Value("c5")).first();
+  ASSERT_TRUE(hit.is_ok());
+  ASSERT_TRUE(hit.value().has_value());
+  EXPECT_EQ(hit.value()->values[0].as_text(), "c5");
+  auto miss = Query(table_).where_eq("name", Value("ghost")).first();
+  ASSERT_TRUE(miss.is_ok());
+  EXPECT_FALSE(miss.value().has_value());
+}
+
+TEST_F(QueryFixture, UnknownColumnIsError) {
+  EXPECT_EQ(Query(table_).where_eq("ghost", Value(1)).run().code(),
+            Errc::invalid_argument);
+  EXPECT_EQ(Query(table_).order_by("ghost").run().code(), Errc::invalid_argument);
+  EXPECT_EQ(Query(table_).select({"ghost"}).run().code(), Errc::invalid_argument);
+}
+
+TEST_F(QueryFixture, NullCellsMatchNothing) {
+  Table t(Schema("n", {Column{"k", ValueType::integer, true, false, false}}));
+  ASSERT_TRUE(t.insert({Value::null()}).is_ok());
+  ASSERT_TRUE(t.insert({Value(1)}).is_ok());
+  EXPECT_EQ(Query(t).where("k", CmpOp::ne, Value(99)).count().value(), 1u);
+  EXPECT_EQ(Query(t).where("k", CmpOp::lt, Value(99)).count().value(), 1u);
+}
+
+TEST_F(QueryFixture, CountWithoutPredicates) {
+  EXPECT_EQ(Query(table_).count().value(), 30u);
+}
+
+TEST_F(QueryFixture, EvalCmpTable) {
+  EXPECT_TRUE(eval_cmp(CmpOp::eq, Value(3), Value(3)));
+  EXPECT_TRUE(eval_cmp(CmpOp::le, Value(3), Value(3)));
+  EXPECT_FALSE(eval_cmp(CmpOp::lt, Value(3), Value(3)));
+  EXPECT_TRUE(eval_cmp(CmpOp::contains, Value("hello world"), Value("lo w")));
+  EXPECT_FALSE(eval_cmp(CmpOp::contains, Value(3), Value("3")));
+  EXPECT_FALSE(eval_cmp(CmpOp::eq, Value::null(), Value::null()));
+}
+
+}  // namespace
+}  // namespace wdoc::storage

@@ -1,0 +1,389 @@
+// SQL front-end tests: tokenizer, every statement kind, predicates,
+// errors, and an end-to-end scenario over the paper's schema shapes.
+#include <gtest/gtest.h>
+
+#include "storage/sql.hpp"
+
+namespace wdoc::storage::sql {
+namespace {
+
+class SqlFixture : public ::testing::Test {
+ protected:
+  SqlFixture() : db_(Database::in_memory()), engine_(*db_) {}
+
+  ResultSet exec(const std::string& stmt) {
+    return engine_.execute(stmt).expect(stmt.c_str());
+  }
+  Errc exec_err(const std::string& stmt) { return engine_.execute(stmt).code(); }
+
+  std::unique_ptr<Database> db_;
+  Engine engine_;
+};
+
+// --- tokenizer ---------------------------------------------------------------
+
+TEST(SqlTokenize, BasicKindsRecognized) {
+  auto tokens = tokenize("SELECT x, 42 -7 3.5 'it''s' X'0aFF' != <> <= (").expect("ok");
+  ASSERT_EQ(tokens.size(), 13u);  // incl. end
+  EXPECT_EQ(tokens[0].kind, TokenKind::identifier);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].text, ",");
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_EQ(tokens[4].int_value, -7);
+  EXPECT_DOUBLE_EQ(tokens[5].real_value, 3.5);
+  EXPECT_EQ(tokens[6].kind, TokenKind::text);
+  EXPECT_EQ(tokens[6].text, "it's");
+  EXPECT_EQ(tokens[7].kind, TokenKind::blob);
+  EXPECT_EQ(tokens[7].blob_value, (Bytes{0x0a, 0xff}));
+  EXPECT_EQ(tokens[8].text, "!=");
+  EXPECT_EQ(tokens[9].text, "<>");
+  EXPECT_EQ(tokens[10].text, "<=");
+  EXPECT_EQ(tokens[12].kind, TokenKind::end);
+}
+
+TEST(SqlTokenize, Errors) {
+  EXPECT_EQ(tokenize("'unterminated").code(), Errc::invalid_argument);
+  EXPECT_EQ(tokenize("X'abc'").code(), Errc::invalid_argument);  // odd hex
+  EXPECT_EQ(tokenize("X'zz'").code(), Errc::invalid_argument);
+  EXPECT_EQ(tokenize("@").code(), Errc::invalid_argument);
+}
+
+// --- DDL ----------------------------------------------------------------------
+
+TEST_F(SqlFixture, CreateAndDropTable) {
+  exec("CREATE TABLE scripts (name TEXT PRIMARY KEY, author TEXT INDEXED, "
+       "pct REAL, done BOOLEAN NOT NULL)");
+  EXPECT_TRUE(db_->catalog().has_table("scripts"));
+  const Schema& s = db_->catalog().table("scripts")->schema();
+  EXPECT_EQ(s.primary_key(), "name");
+  EXPECT_TRUE(s.column(1).indexed);
+  EXPECT_FALSE(s.column(3).nullable);
+  exec("DROP TABLE scripts");
+  EXPECT_FALSE(db_->catalog().has_table("scripts"));
+}
+
+TEST_F(SqlFixture, CreateWithForeignKey) {
+  exec("CREATE TABLE parent (name TEXT PRIMARY KEY)");
+  exec("CREATE TABLE child (id INTEGER UNIQUE, p TEXT INDEXED, "
+       "FOREIGN KEY (p) REFERENCES parent(name) ON DELETE CASCADE)");
+  exec("INSERT INTO parent VALUES ('a')");
+  exec("INSERT INTO child VALUES (1, 'a')");
+  EXPECT_EQ(exec_err("INSERT INTO child VALUES (2, 'ghost')"),
+            Errc::constraint_violation);
+  exec("DELETE FROM parent WHERE name = 'a'");
+  EXPECT_EQ(db_->catalog().table("child")->row_count(), 0u);  // cascaded
+}
+
+// --- DML + queries ---------------------------------------------------------
+
+class SeededSql : public SqlFixture {
+ protected:
+  SeededSql() {
+    exec("CREATE TABLE courses (name TEXT PRIMARY KEY, instructor TEXT INDEXED, "
+         "credits INTEGER, rating REAL, active BOOLEAN)");
+    const char* instructors[] = {"shih", "ma", "huang"};
+    for (int i = 0; i < 12; ++i) {
+      std::string stmt = "INSERT INTO courses VALUES ('c" + std::to_string(i) +
+                         "', '" + instructors[i % 3] + "', " + std::to_string(i % 4) +
+                         ", " + std::to_string(i) + ".5, " +
+                         (i % 2 == 0 ? "TRUE" : "FALSE") + ")";
+      exec(stmt);
+    }
+  }
+};
+
+TEST_F(SeededSql, SelectStar) {
+  ResultSet rs = exec("SELECT * FROM courses");
+  EXPECT_EQ(rs.columns.size(), 5u);
+  EXPECT_EQ(rs.rows.size(), 12u);
+}
+
+TEST_F(SeededSql, SelectProjectionWhere) {
+  ResultSet rs = exec(
+      "SELECT name, credits FROM courses WHERE instructor = 'ma' AND credits >= 2");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"name", "credits"}));
+  for (const auto& row : rs.rows) {
+    EXPECT_GE(row[1].as_int(), 2);
+  }
+  EXPECT_EQ(rs.rows.size(), 2u);  // i in {7, 10}: i%3==1 and i%4>=2
+}
+
+TEST_F(SeededSql, CountStar) {
+  ResultSet rs = exec("SELECT COUNT(*) FROM courses WHERE active = TRUE");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 6);
+}
+
+TEST_F(SeededSql, OrderByAndLimit) {
+  ResultSet rs = exec("SELECT name FROM courses ORDER BY rating DESC LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].as_text(), "c11");
+  EXPECT_EQ(rs.rows[2][0].as_text(), "c9");
+}
+
+TEST_F(SeededSql, LikeIsContains) {
+  ResultSet rs = exec("SELECT name FROM courses WHERE name LIKE 'c1'");
+  // c1, c10, c11.
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SeededSql, IsNullPredicates) {
+  exec("CREATE TABLE t (k INTEGER, v TEXT)");
+  exec("INSERT INTO t VALUES (1, NULL)");
+  exec("INSERT INTO t VALUES (2, 'x')");
+  EXPECT_EQ(exec("SELECT * FROM t WHERE v IS NULL").rows.size(), 1u);
+  EXPECT_EQ(exec("SELECT * FROM t WHERE v IS NOT NULL").rows.size(), 1u);
+}
+
+TEST_F(SeededSql, UpdateWithWhere) {
+  ResultSet rs = exec("UPDATE courses SET credits = 9, active = FALSE "
+                      "WHERE instructor = 'shih'");
+  EXPECT_EQ(rs.affected, 4u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM courses WHERE credits = 9").rows[0][0].as_int(),
+            4);
+}
+
+TEST_F(SeededSql, UpdateWithoutWhereTouchesAll) {
+  ResultSet rs = exec("UPDATE courses SET rating = 0.0");
+  EXPECT_EQ(rs.affected, 12u);
+}
+
+TEST_F(SeededSql, DeleteWithWhere) {
+  ResultSet rs = exec("DELETE FROM courses WHERE credits < 2");
+  EXPECT_EQ(rs.affected, 6u);
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM courses").rows[0][0].as_int(), 6);
+}
+
+TEST_F(SeededSql, InsertReportsRowId) {
+  ResultSet rs = exec("INSERT INTO courses VALUES ('cz', 'shih', 1, 0.1, TRUE)");
+  EXPECT_EQ(rs.affected, 1u);
+  EXPECT_TRUE(rs.last_insert_row.has_value());
+}
+
+TEST_F(SeededSql, BlobLiteralRoundTrip) {
+  exec("CREATE TABLE files (path TEXT PRIMARY KEY, data BLOB)");
+  exec("INSERT INTO files VALUES ('a.bin', X'cafebabe')");
+  ResultSet rs = exec("SELECT data FROM files WHERE path = 'a.bin'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_blob(), (Bytes{0xca, 0xfe, 0xba, 0xbe}));
+}
+
+TEST_F(SeededSql, EscapedQuoteInText) {
+  exec("INSERT INTO courses VALUES ('it''s', 'shih', 0, 0.0, TRUE)");
+  ResultSet rs = exec("SELECT name FROM courses WHERE name = 'it''s'");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_text(), "it's");
+}
+
+TEST_F(SeededSql, TrailingSemicolonAccepted) {
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM courses;").rows[0][0].as_int(), 12);
+}
+
+TEST_F(SeededSql, CaseInsensitiveKeywords) {
+  ResultSet rs = exec("select name from courses where instructor = 'ma' "
+                      "order by name limit 2");
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+// --- aggregates + GROUP BY ---------------------------------------------------
+
+TEST_F(SeededSql, AggregatesWholeTable) {
+  ResultSet rs = exec("SELECT COUNT(*), SUM(credits), AVG(rating), MIN(name), "
+                      "MAX(name) FROM courses");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.columns[1], "sum_credits");
+  EXPECT_EQ(rs.rows[0][0].as_int(), 12);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_real(), 18.0);  // 3*(0+1+2+3)
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].as_real(), 6.0);   // mean of 0.5..11.5
+  EXPECT_EQ(rs.rows[0][3].as_text(), "c0");
+  EXPECT_EQ(rs.rows[0][4].as_text(), "c9");
+}
+
+TEST_F(SeededSql, GroupByWithAggregates) {
+  ResultSet rs = exec("SELECT instructor, COUNT(*), SUM(credits) FROM courses "
+                      "GROUP BY instructor ORDER BY instructor");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].as_text(), "huang");
+  EXPECT_EQ(rs.rows[0][1].as_int(), 4);
+  EXPECT_EQ(rs.rows[1][0].as_text(), "ma");
+  EXPECT_EQ(rs.rows[2][0].as_text(), "shih");
+}
+
+TEST_F(SeededSql, GroupByWithWhereAndOrderByAggregate) {
+  ResultSet rs = exec("SELECT instructor, COUNT(*) FROM courses "
+                      "WHERE credits >= 1 GROUP BY instructor "
+                      "ORDER BY count DESC LIMIT 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_GE(rs.rows[0][1].as_int(), 3);
+}
+
+TEST_F(SeededSql, AggregateOverEmptySelection) {
+  ResultSet rs = exec("SELECT COUNT(*), AVG(rating) FROM courses WHERE credits > 99");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(SeededSql, AvgIgnoresNulls) {
+  exec("CREATE TABLE t (k INTEGER, v REAL)");
+  exec("INSERT INTO t VALUES (1, 10.0)");
+  exec("INSERT INTO t VALUES (2, NULL)");
+  exec("INSERT INTO t VALUES (3, 20.0)");
+  ResultSet rs = exec("SELECT AVG(v), COUNT(*) FROM t");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_real(), 15.0);
+  EXPECT_EQ(rs.rows[0][1].as_int(), 3);
+}
+
+TEST_F(SeededSql, NonAggregatedColumnRequiresGroupBy) {
+  EXPECT_EQ(exec_err("SELECT instructor, COUNT(*) FROM courses"),
+            Errc::invalid_argument);
+  EXPECT_EQ(exec_err("SELECT name, COUNT(*) FROM courses GROUP BY instructor"),
+            Errc::invalid_argument);
+}
+
+TEST_F(SeededSql, GroupByWithoutAggregatesListsGroups) {
+  ResultSet rs = exec("SELECT instructor FROM courses GROUP BY instructor");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+// --- JOIN ------------------------------------------------------------------
+
+class JoinSql : public SqlFixture {
+ protected:
+  JoinSql() {
+    exec("CREATE TABLE script (name TEXT PRIMARY KEY, author TEXT)");
+    exec("CREATE TABLE impl (url TEXT PRIMARY KEY, script TEXT INDEXED, "
+         "try INTEGER, FOREIGN KEY (script) REFERENCES script(name))");
+    exec("INSERT INTO script VALUES ('s1', 'shih')");
+    exec("INSERT INTO script VALUES ('s2', 'ma')");
+    exec("INSERT INTO script VALUES ('s3', 'huang')");  // no implementations
+    exec("INSERT INTO impl VALUES ('http://x/1', 's1', 1)");
+    exec("INSERT INTO impl VALUES ('http://x/2', 's1', 2)");
+    exec("INSERT INTO impl VALUES ('http://y/1', 's2', 1)");
+  }
+};
+
+TEST_F(JoinSql, InnerJoinMatchesPairs) {
+  ResultSet rs = exec("SELECT script.author, impl.url FROM script "
+                      "JOIN impl ON script.name = impl.script "
+                      "ORDER BY impl.url");
+  EXPECT_EQ(rs.columns, (std::vector<std::string>{"script.author", "impl.url"}));
+  ASSERT_EQ(rs.rows.size(), 3u);  // s3 has no implementations
+  EXPECT_EQ(rs.rows[0][0].as_text(), "shih");
+  EXPECT_EQ(rs.rows[0][1].as_text(), "http://x/1");
+  EXPECT_EQ(rs.rows[2][0].as_text(), "ma");
+}
+
+TEST_F(JoinSql, JoinStarExpandsBothTables) {
+  ResultSet rs = exec("SELECT * FROM script JOIN impl ON script.name = impl.script");
+  EXPECT_EQ(rs.columns.size(), 5u);  // 2 + 3
+  EXPECT_EQ(rs.columns[0], "script.name");
+  EXPECT_EQ(rs.columns[4], "impl.try");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(JoinSql, JoinWithWhereOnEitherSide) {
+  ResultSet rs = exec("SELECT impl.url FROM script JOIN impl "
+                      "ON script.name = impl.script "
+                      "WHERE script.author = 'shih' AND impl.try = 2");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_text(), "http://x/2");
+}
+
+TEST_F(JoinSql, UnqualifiedColumnsResolveWhenUnambiguous) {
+  ResultSet rs = exec("SELECT author, url FROM script JOIN impl "
+                      "ON name = script ORDER BY url LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.columns[0], "script.author");
+}
+
+TEST_F(JoinSql, JoinReversedConditionWorks) {
+  ResultSet rs = exec("SELECT impl.url FROM script JOIN impl "
+                      "ON impl.script = script.name");
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(JoinSql, NullKeysJoinNothing) {
+  exec("CREATE TABLE a (k TEXT)");
+  exec("CREATE TABLE b (k TEXT)");
+  exec("INSERT INTO a VALUES (NULL)");
+  exec("INSERT INTO b VALUES (NULL)");
+  exec("INSERT INTO a VALUES ('x')");
+  exec("INSERT INTO b VALUES ('x')");
+  ResultSet rs = exec("SELECT * FROM a JOIN b ON a.k = b.k");
+  EXPECT_EQ(rs.rows.size(), 1u);
+}
+
+TEST_F(JoinSql, JoinErrors) {
+  EXPECT_EQ(exec_err("SELECT * FROM script JOIN ghost ON a = b"), Errc::not_found);
+  EXPECT_EQ(exec_err("SELECT * FROM script JOIN impl ON script.name = script.author"),
+            Errc::invalid_argument);  // same-table condition
+  EXPECT_EQ(exec_err("SELECT COUNT(*) FROM script JOIN impl ON name = script"),
+            Errc::unsupported);
+  EXPECT_EQ(exec_err("SELECT ghost FROM script JOIN impl ON name = script"),
+            Errc::invalid_argument);
+  // 'try' exists only in impl, but 'name'... both? name only in script,
+  // script column only in impl. An ambiguous example: add same-named cols.
+  exec("CREATE TABLE c1 (x TEXT)");
+  exec("CREATE TABLE c2 (x TEXT, y TEXT)");
+  EXPECT_EQ(exec_err("SELECT x FROM c1 JOIN c2 ON c1.x = c2.y"),
+            Errc::invalid_argument);  // ambiguous x
+}
+
+// --- errors ----------------------------------------------------------------
+
+TEST_F(SeededSql, SyntaxErrors) {
+  EXPECT_EQ(exec_err("SELEC * FROM courses"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("SELECT * courses"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("SELECT * FROM courses WHERE"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("SELECT * FROM courses LIMIT -1"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("INSERT INTO courses VALUES (1"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("SELECT * FROM courses extra garbage"), Errc::invalid_argument);
+}
+
+TEST_F(SeededSql, SemanticErrors) {
+  EXPECT_EQ(exec_err("SELECT * FROM ghost"), Errc::not_found);
+  EXPECT_EQ(exec_err("SELECT ghost FROM courses"), Errc::invalid_argument);
+  EXPECT_EQ(exec_err("INSERT INTO courses VALUES ('x', 'y')"),
+            Errc::invalid_argument);  // arity
+  EXPECT_EQ(exec_err("INSERT INTO courses VALUES "
+                     "('c0', 'dup', 0, 0.0, TRUE)"),
+            Errc::constraint_violation);  // duplicate PK
+  EXPECT_EQ(exec_err("CREATE TABLE courses (x INTEGER)"), Errc::already_exists);
+}
+
+TEST_F(SeededSql, ResultSetToString) {
+  ResultSet rs = exec("SELECT name, credits FROM courses WHERE name = 'c1'");
+  std::string text = rs.to_string();
+  EXPECT_NE(text.find("name | credits"), std::string::npos);
+  EXPECT_NE(text.find("'c1' | 1"), std::string::npos);
+  ResultSet dml = exec("UPDATE courses SET credits = 1 WHERE name = 'c1'");
+  EXPECT_NE(dml.to_string().find("affected: 1"), std::string::npos);
+}
+
+// --- end-to-end over paper-shaped tables -------------------------------------
+
+TEST_F(SqlFixture, PaperSchemaScenario) {
+  exec("CREATE TABLE script (name TEXT PRIMARY KEY, author TEXT INDEXED, "
+       "pct REAL)");
+  exec("CREATE TABLE implementation (url TEXT PRIMARY KEY, script TEXT INDEXED, "
+       "try INTEGER, FOREIGN KEY (script) REFERENCES script(name) "
+       "ON DELETE CASCADE)");
+  exec("INSERT INTO script VALUES ('intro-ce', 'shih', 10.0)");
+  exec("INSERT INTO implementation VALUES ('http://x/1', 'intro-ce', 1)");
+  exec("INSERT INTO implementation VALUES ('http://x/2', 'intro-ce', 2)");
+
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM implementation WHERE script = 'intro-ce'")
+                .rows[0][0]
+                .as_int(),
+            2);
+  exec("UPDATE script SET pct = 60.0 WHERE name = 'intro-ce'");
+  EXPECT_DOUBLE_EQ(
+      exec("SELECT pct FROM script WHERE name = 'intro-ce'").rows[0][0].as_real(),
+      60.0);
+  exec("DELETE FROM script WHERE name = 'intro-ce'");
+  EXPECT_EQ(exec("SELECT COUNT(*) FROM implementation").rows[0][0].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace wdoc::storage::sql

@@ -1,0 +1,102 @@
+// Tests for the statistics helpers and the query planner's explain().
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "storage/query.hpp"
+
+namespace wdoc {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);  // classic textbook set
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(-3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentiles, NearestRank) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(p.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(p.p90(), 90.0);
+  EXPECT_DOUBLE_EQ(p.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+}
+
+TEST(Percentiles, UnsortedInsertions) {
+  Percentiles p;
+  Rng rng(3);
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(rng.uniform01());
+  for (double v : values) p.add(v);
+  std::sort(values.begin(), values.end());
+  EXPECT_DOUBLE_EQ(p.p50(), values[499]);
+  // Adding after a quantile query re-sorts transparently.
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 2.0);
+}
+
+TEST(Percentiles, EmptyIsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.p99(), 0.0);
+}
+
+// --- Query::explain ----------------------------------------------------------
+
+TEST(Explain, ReportsAccessPath) {
+  using namespace storage;
+  Table t(Schema("t",
+                 {Column{"k", ValueType::text, false, false, false},
+                  Column{"a", ValueType::integer, true, false, true},
+                  Column{"b", ValueType::integer, true, false, false}},
+                 "k"));
+  // Unpredicated: full scan.
+  EXPECT_FALSE(Query(t).explain().index_driven);
+  EXPECT_EQ(Query(t).explain().to_string(), "full scan");
+
+  // Indexed equality drives.
+  QueryPlan plan = Query(t).where_eq("a", Value(1)).where("b", CmpOp::gt, Value(0))
+                       .explain();
+  EXPECT_TRUE(plan.index_driven);
+  EXPECT_EQ(plan.driver_column, "a");
+  EXPECT_EQ(plan.residual_predicates, 1u);
+
+  // Unindexed-only predicates: full scan with filters.
+  plan = Query(t).where("b", CmpOp::le, Value(5)).explain();
+  EXPECT_FALSE(plan.index_driven);
+  EXPECT_EQ(plan.residual_predicates, 1u);
+
+  // Indexed range drives when no indexed equality exists; PK counts too.
+  plan = Query(t).where("k", CmpOp::ge, Value("m")).explain();
+  EXPECT_TRUE(plan.index_driven);
+  EXPECT_EQ(plan.driver_op, CmpOp::ge);
+
+  // ORDER BY shows up as a sort stage.
+  plan = Query(t).order_by("b").explain();
+  EXPECT_TRUE(plan.sorted_output);
+  EXPECT_NE(plan.to_string().find("sort"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdoc

@@ -1,0 +1,190 @@
+// Workload-generator tests: corpus shape, determinism, Zipfian reuse,
+// pattern generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/corpus.hpp"
+#include "workload/patterns.hpp"
+
+namespace wdoc::workload {
+namespace {
+
+CorpusConfig small_config() {
+  CorpusConfig cfg;
+  cfg.courses = 6;
+  cfg.impls_per_course = 2;
+  cfg.html_per_impl = 3;
+  cfg.programs_per_impl = 1;
+  cfg.resources_per_impl = 4;
+  cfg.unique_resources = 10;
+  cfg.seed = 7;
+  return cfg;
+}
+
+struct RepoHarness {
+  RepoHarness() : db(storage::Database::in_memory()), repo(*db, blobs) {
+    docmodel::install_schemas(*db).expect("schemas");
+  }
+  std::unique_ptr<storage::Database> db;
+  blob::BlobStore blobs;
+  docmodel::Repository repo;
+};
+
+TEST(Corpus, GeneratesRequestedShape) {
+  RepoHarness h;
+  auto corpus = generate_corpus(h.repo, small_config());
+  ASSERT_TRUE(corpus.is_ok());
+  EXPECT_EQ(corpus.value().courses.size(), 6u);
+  for (const GeneratedCourse& c : corpus.value().courses) {
+    EXPECT_EQ(c.implementations.size(), 2u);
+    auto script = h.repo.get_script(c.script_name);
+    ASSERT_TRUE(script.is_ok());
+    for (const dist::DocManifest& m : c.implementations) {
+      EXPECT_GT(m.structure_bytes, 0u);
+      EXPECT_FALSE(m.blobs.empty());
+      auto htmls = h.repo.html_files_of(m.doc_key);
+      ASSERT_TRUE(htmls.is_ok());
+      EXPECT_EQ(htmls.value().size(), 3u);
+    }
+  }
+  EXPECT_EQ(corpus.value().all_manifests().size(), 12u);
+}
+
+TEST(Corpus, ResourcePoolBoundsUniqueBlobs) {
+  RepoHarness h;
+  CorpusConfig cfg = small_config();
+  auto corpus = generate_corpus(h.repo, cfg);
+  ASSERT_TRUE(corpus.is_ok());
+  // Blob store dedups by digest: the number of distinct blobs cannot exceed
+  // the pool size.
+  EXPECT_LE(h.blobs.blob_count(), cfg.unique_resources);
+  EXPECT_GT(h.blobs.blob_count(), 0u);
+  // Logical >= stored because popular resources are reused across courses.
+  EXPECT_GE(h.blobs.logical_bytes(), h.blobs.stored_bytes());
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  RepoHarness h1, h2;
+  auto c1 = generate_corpus(h1.repo, small_config());
+  auto c2 = generate_corpus(h2.repo, small_config());
+  ASSERT_TRUE(c1.is_ok());
+  ASSERT_TRUE(c2.is_ok());
+  auto m1 = c1.value().all_manifests();
+  auto m2 = c2.value().all_manifests();
+  ASSERT_EQ(m1.size(), m2.size());
+  for (std::size_t i = 0; i < m1.size(); ++i) {
+    EXPECT_EQ(m1[i], m2[i]);
+  }
+}
+
+TEST(Corpus, HomeStampedIntoManifests) {
+  RepoHarness h;
+  auto corpus = generate_corpus(h.repo, small_config(), StationId{77});
+  ASSERT_TRUE(corpus.is_ok());
+  for (const dist::DocManifest& m : corpus.value().all_manifests()) {
+    EXPECT_EQ(m.home, StationId{77});
+  }
+}
+
+TEST(Corpus, ZipfReuseMakesHotResources) {
+  RepoHarness h;
+  CorpusConfig cfg = small_config();
+  cfg.courses = 30;
+  cfg.impls_per_course = 1;
+  cfg.zipf_s = 1.2;
+  auto corpus = generate_corpus(h.repo, cfg);
+  ASSERT_TRUE(corpus.is_ok());
+  // Count how often each digest appears across manifests.
+  std::map<std::string, int> uses;
+  for (const auto& m : corpus.value().all_manifests()) {
+    for (const auto& b : m.blobs) uses[b.digest.to_hex()]++;
+  }
+  int max_use = 0;
+  for (const auto& [_, n] : uses) max_use = std::max(max_use, n);
+  EXPECT_GT(max_use, 3);  // head of the Zipf is genuinely hot
+}
+
+TEST(Corpus, PlayoutScheduleMonotonePerImplementation) {
+  RepoHarness h;
+  auto corpus = generate_corpus(h.repo, small_config());
+  ASSERT_TRUE(corpus.is_ok());
+  for (const auto& m : corpus.value().all_manifests()) {
+    std::int64_t prev = -1;
+    for (const auto& b : m.blobs) {
+      ASSERT_TRUE(b.playout_ms.has_value());
+      EXPECT_GT(*b.playout_ms, prev);
+      prev = *b.playout_ms;
+    }
+  }
+}
+
+TEST(Corpus, ResourcePoolDeterministic) {
+  CorpusConfig cfg = small_config();
+  auto p1 = resource_pool(cfg);
+  auto p2 = resource_pool(cfg);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) EXPECT_EQ(p1[i], p2[i]);
+  cfg.seed = 8;
+  auto p3 = resource_pool(cfg);
+  EXPECT_NE(p1[0].digest, p3[0].digest);
+}
+
+TEST(Patterns, EditingWorkloadRespectsConfig) {
+  auto ops = editing_workload(4, 10, 1000, 0.25, 42);
+  ASSERT_EQ(ops.size(), 1000u);
+  int writes = 0;
+  for (const EditOp& op : ops) {
+    EXPECT_GE(op.user.value(), 1u);
+    EXPECT_LE(op.user.value(), 4u);
+    EXPECT_LT(op.node_index, 10u);
+    writes += op.write ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 1000.0, 0.25, 0.06);
+}
+
+TEST(Patterns, ZipfTraceSkewsTowardHotDocs) {
+  auto trace = zipf_access_trace(5, 100, 20000, 1.0, 1);
+  ASSERT_EQ(trace.size(), 20000u);
+  std::map<std::size_t, int> hits;
+  for (const AccessOp& op : trace) {
+    EXPECT_LT(op.station_index, 5u);
+    EXPECT_LT(op.doc_index, 100u);
+    hits[op.doc_index]++;
+  }
+  EXPECT_GT(hits[0], hits[50]);
+}
+
+TEST(Patterns, TraversalLogIsWellFormed) {
+  auto log = random_traversal("http://x", 5, 40, 9);
+  EXPECT_EQ(log.size(), 41u);  // 40 events + close
+  EXPECT_EQ(log.events().back().kind, docmodel::TraversalEventKind::close);
+  // Timestamps are nondecreasing.
+  std::int64_t prev = -1;
+  for (const auto& ev : log.events()) {
+    EXPECT_GE(ev.at_ms, prev);
+    prev = ev.at_ms;
+  }
+  // Round-trips through its encoding.
+  auto decoded = docmodel::TraversalLog::decode(log.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), log);
+}
+
+TEST(Patterns, RandomAnnotationRoundTrips) {
+  auto doc = random_annotation(25, 3);
+  EXPECT_EQ(doc.op_count(), 25u);
+  auto decoded = docmodel::AnnotationDoc::decode(doc.encode());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), doc);
+}
+
+TEST(Patterns, GeneratorsDeterministic) {
+  EXPECT_EQ(editing_workload(3, 5, 100, 0.5, 1)[7].node_index,
+            editing_workload(3, 5, 100, 0.5, 1)[7].node_index);
+  EXPECT_EQ(zipf_access_trace(3, 5, 100, 1.0, 1)[7].doc_index,
+            zipf_access_trace(3, 5, 100, 1.0, 1)[7].doc_index);
+}
+
+}  // namespace
+}  // namespace wdoc::workload
