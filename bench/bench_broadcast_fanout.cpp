@@ -37,7 +37,8 @@ RunResult run_broadcast(std::size_t n, std::uint64_t m, std::uint64_t lecture_by
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsDump metrics(argc, argv);
   std::printf("=== E2: pre-broadcast makespan vs tree fan-out m ===\n");
   std::printf("10 MB lecture, 10 Mb/s station links, 30 ms RTT\n\n");
   const std::uint64_t lecture_bytes = 10 << 20;

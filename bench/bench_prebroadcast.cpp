@@ -74,7 +74,8 @@ PlaybackResult play_on_demand(SimCluster& cluster, const dist::DocManifest& doc,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  MetricsDump metrics(argc, argv);
   std::printf("=== E3: pre-broadcast vs on-demand lecture playback ===\n");
   std::printf("lecture: 15 BLOBs, deadline every 120 s; 10 Mb/s links\n\n");
 

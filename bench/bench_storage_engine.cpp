@@ -10,6 +10,7 @@
 #include <filesystem>
 
 #include "docmodel/schema_defs.hpp"
+#include "obs/metrics.hpp"
 #include "storage/sql.hpp"
 #include "storage/txn.hpp"
 
@@ -213,6 +214,8 @@ BENCHMARK(BM_DurableInsert);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip --metrics-json=<path> before google-benchmark parses the rest.
+  std::string metrics_path = obs::metrics_json_arg(argc, argv);
   std::printf("=== E11: relational substrate throughput on the paper schema ===\n\n");
   // Quick capacity sanity print: the full 11-table schema loaded with a
   // plausible department's worth of content.
@@ -228,5 +231,13 @@ int main(int argc, char** argv) {
   }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!metrics_path.empty()) {
+    if (obs::write_json_file(metrics_path)) {
+      std::fprintf(stderr, "metrics snapshot written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics snapshot to %s\n",
+                   metrics_path.c_str());
+    }
+  }
   return 0;
 }

@@ -3,13 +3,41 @@
 // wired into the paper's m-ary tree.
 #pragma once
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dist/station_node.hpp"
 #include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
 
 namespace wdoc::bench {
+
+// Every sim bench accepts --metrics-json=<path>: when present, the global
+// obs registry snapshot is dumped as stable JSON on exit, suitable for
+// BENCH_*.json trajectory tracking in CI. Construct one at the top of
+// main(); the flag is stripped from argv so downstream parsers (e.g.
+// google-benchmark) never see it.
+class MetricsDump {
+ public:
+  MetricsDump(int& argc, char** argv)
+      : path_(obs::metrics_json_arg(argc, argv)) {}
+  ~MetricsDump() {
+    if (path_.empty()) return;
+    if (obs::write_json_file(path_)) {
+      std::fprintf(stderr, "metrics snapshot written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics snapshot to %s\n",
+                   path_.c_str());
+    }
+  }
+  MetricsDump(const MetricsDump&) = delete;
+  MetricsDump& operator=(const MetricsDump&) = delete;
+
+ private:
+  std::string path_;
+};
 
 class SimCluster {
  public:

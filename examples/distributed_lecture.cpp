@@ -14,6 +14,7 @@
 
 #include "dist/coordinator.hpp"
 #include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
 
 using namespace wdoc;
 
@@ -155,5 +156,9 @@ int main() {
   std::printf("end-of-lecture migration: student disk %0.1f MB -> %0.1f MB "
               "(instructor keeps the persistent instance)\n",
               static_cast<double>(before) / 1e6, static_cast<double>(after) / 1e6);
+
+  std::printf("\nmetrics (wdoc_obs process-wide registry):\n");
+  std::fputs(obs::to_table(obs::MetricsRegistry::global().snapshot()).c_str(),
+             stdout);
   return 0;
 }

@@ -1,9 +1,37 @@
 #include "blob/blob_store.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <cstdio>
 #include <filesystem>
 
 namespace wdoc::blob {
+
+namespace {
+
+// Process-wide aggregates across every BlobStore (one per station in the
+// simulations): gauges track deltas so they sum correctly over stores.
+struct BlobMetrics {
+  obs::Counter& puts;
+  obs::Counter& dedup_hits;
+  obs::Counter& evictions;
+  obs::Gauge& stored_bytes;
+  obs::Gauge& logical_bytes;
+
+  static BlobMetrics& get() {
+    static BlobMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new BlobMetrics{
+          reg.counter("blob.puts"),        reg.counter("blob.dedup_hits"),
+          reg.counter("blob.evictions"),   reg.gauge("blob.stored_bytes"),
+          reg.gauge("blob.logical_bytes"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 namespace fs = std::filesystem;
 
@@ -84,6 +112,11 @@ void BlobStore::remove_entry_files(const Entry& e) {
   }
 }
 
+BlobStore::~BlobStore() {
+  BlobMetrics::get().stored_bytes.sub(static_cast<std::int64_t>(stored_bytes_));
+  BlobMetrics::get().logical_bytes.sub(static_cast<std::int64_t>(logical_bytes_));
+}
+
 Result<BlobId> BlobStore::put(Bytes data, MediaType type) {
   Digest128 digest = digest128(std::span<const std::uint8_t>(data));
   // Size captured before the move: parameter evaluation order is unspecified.
@@ -102,6 +135,8 @@ Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
     Entry& e = blobs_.at(it->second.value());
     ++e.info.refs;
     logical_bytes_ += e.info.size;
+    BlobMetrics::get().dedup_hits.inc();
+    BlobMetrics::get().logical_bytes.add(static_cast<std::int64_t>(e.info.size));
     // A synthetic entry upgraded with real bytes becomes resident.
     if (resident && !e.info.resident) {
       e.data = std::move(data);
@@ -130,6 +165,9 @@ Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
   e.loaded = resident;
   stored_bytes_ += size;
   logical_bytes_ += size;
+  BlobMetrics::get().puts.inc();
+  BlobMetrics::get().stored_bytes.add(static_cast<std::int64_t>(size));
+  BlobMetrics::get().logical_bytes.add(static_cast<std::int64_t>(size));
   by_digest_.emplace(digest, id);
   blobs_.emplace(id.value(), std::move(e));
   return id;
@@ -140,6 +178,7 @@ Status BlobStore::add_ref(BlobId id) {
   if (it == blobs_.end()) return {Errc::not_found, "no blob " + std::to_string(id.value())};
   ++it->second.info.refs;
   logical_bytes_ += it->second.info.size;
+  BlobMetrics::get().logical_bytes.add(static_cast<std::int64_t>(it->second.info.size));
   return Status::ok();
 }
 
@@ -150,8 +189,11 @@ Status BlobStore::release(BlobId id, bool evict_now) {
   if (info.refs == 0) return {Errc::conflict, "release of zero-ref blob"};
   --info.refs;
   logical_bytes_ -= info.size;
+  BlobMetrics::get().logical_bytes.sub(static_cast<std::int64_t>(info.size));
   if (info.refs == 0 && evict_now) {
     stored_bytes_ -= info.size;
+    BlobMetrics::get().evictions.inc();
+    BlobMetrics::get().stored_bytes.sub(static_cast<std::int64_t>(info.size));
     remove_entry_files(it->second);
     by_digest_.erase(info.digest);
     blobs_.erase(it);
@@ -192,6 +234,8 @@ std::uint64_t BlobStore::gc() {
     if (it->second.info.refs == 0) {
       reclaimed += it->second.info.size;
       stored_bytes_ -= it->second.info.size;
+      BlobMetrics::get().evictions.inc();
+      BlobMetrics::get().stored_bytes.sub(static_cast<std::int64_t>(it->second.info.size));
       remove_entry_files(it->second);
       by_digest_.erase(it->second.info.digest);
       it = blobs_.erase(it);

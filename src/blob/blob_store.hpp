@@ -43,6 +43,11 @@ class BlobStore {
 
   explicit BlobStore(std::uint64_t capacity_bytes = kUnlimited)
       : capacity_(capacity_bytes) {}
+  // Unwinds this store's contribution to the process-wide byte gauges, so
+  // short-lived per-run stores don't leave them drifting.
+  ~BlobStore();
+  BlobStore(const BlobStore&) = delete;
+  BlobStore& operator=(const BlobStore&) = delete;
 
   // Disk-backed store: resident blob payloads are written to
   // <dir>/<digest-hex>.blob and reloaded (lazily) on open. Existing blob

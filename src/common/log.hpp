@@ -2,6 +2,7 @@
 // the level to show the narrative of a run.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -11,8 +12,10 @@ enum class LogLevel { trace = 0, debug = 1, info = 2, warn = 3, error = 4, off =
 
 class Log {
  public:
-  static LogLevel& level() {
-    static LogLevel lvl = LogLevel::warn;
+  // Atomic: the level is read from every ThreadTransport worker while
+  // examples raise/lower it on the main thread.
+  static std::atomic<LogLevel>& level() {
+    static std::atomic<LogLevel> lvl{LogLevel::warn};
     return lvl;
   }
 
@@ -24,7 +27,8 @@ class Log {
 
 #define WDOC_LOG(lvl, ...)                                         \
   do {                                                             \
-    if (static_cast<int>(lvl) >= static_cast<int>(::wdoc::Log::level())) \
+    if (static_cast<int>(lvl) >=                                   \
+        static_cast<int>(::wdoc::Log::level().load(std::memory_order_relaxed))) \
       ::wdoc::Log::write(lvl, __VA_ARGS__);                        \
   } while (0)
 

@@ -1,6 +1,7 @@
 // Small statistics helpers for benchmarks and simulations: an online
-// mean/min/max accumulator and an exact-percentile sampler (stores samples;
-// fine at experiment scale).
+// mean/min/max accumulator and a percentile sampler that is exact below a
+// retention cap and switches to uniform reservoir sampling above it, so
+// long simulations stay O(cap) in memory instead of O(events).
 #pragma once
 
 #include <algorithm>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/rng.hpp"
 
 namespace wdoc {
 
@@ -39,12 +41,32 @@ class Summary {
   double sum_ = 0, sum_sq_ = 0, min_ = 0, max_ = 0;
 };
 
-// Exact percentiles over retained samples.
+// Percentiles over retained samples. Exact while the number of added
+// values is within `max_samples`; beyond that, classic Algorithm-R
+// reservoir sampling keeps a uniform subsample of everything seen, bounding
+// memory while keeping quantile estimates unbiased. Deterministic for a
+// given add() sequence (fixed internal RNG seed).
 class Percentiles {
  public:
+  static constexpr std::size_t kDefaultMaxSamples = 64 * 1024;
+
+  explicit Percentiles(std::size_t max_samples = kDefaultMaxSamples)
+      : max_samples_(max_samples == 0 ? 1 : max_samples), rng_(0x9e3779b97f4a7c15ULL) {}
+
   void add(double x) {
-    samples_.push_back(x);
-    sorted_ = false;
+    ++seen_;
+    if (samples_.size() < max_samples_) {
+      samples_.push_back(x);
+      sorted_ = false;
+      return;
+    }
+    // Reservoir: keep x with probability max_samples / seen, replacing a
+    // uniformly chosen retained sample.
+    std::uint64_t slot = rng_.next() % seen_;
+    if (slot < max_samples_) {
+      samples_[static_cast<std::size_t>(slot)] = x;
+      sorted_ = false;
+    }
   }
 
   // q in [0, 1]; nearest-rank. 0 with no samples.
@@ -64,10 +86,16 @@ class Percentiles {
   [[nodiscard]] double p50() { return quantile(0.50); }
   [[nodiscard]] double p90() { return quantile(0.90); }
   [[nodiscard]] double p99() { return quantile(0.99); }
-  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  // Values added (equals retained() until the cap is reached).
+  [[nodiscard]] std::size_t count() const { return static_cast<std::size_t>(seen_); }
+  [[nodiscard]] std::size_t retained() const { return samples_.size(); }
+  [[nodiscard]] std::size_t max_samples() const { return max_samples_; }
 
  private:
   std::vector<double> samples_;
+  std::size_t max_samples_;
+  std::uint64_t seen_ = 0;
+  SplitMix64 rng_;
   bool sorted_ = true;
 };
 

@@ -1,5 +1,7 @@
 #include "dist/lecture.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace wdoc::dist {
 
 const char* lecture_state_name(LectureState s) {
@@ -63,6 +65,7 @@ Result<std::size_t> LectureSession::repair() {
     ++issued;
   }
   repairs_issued_ += issued;
+  obs::MetricsRegistry::global().counter("dist.anti_entropy_repairs").inc(issued);
   return issued;
 }
 

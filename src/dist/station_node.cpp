@@ -3,10 +3,36 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace wdoc::dist {
 
 namespace {
+
+// Process-wide distribution counters; every StationNode shares them.
+struct DistMetrics {
+  obs::Counter& pushes;
+  obs::Counter& pulls;
+  obs::Counter& serves;
+  obs::Counter& replications;
+  obs::Counter& migrations;
+  obs::Counter& failed_fetches;
+  obs::Counter& blob_serves;
+
+  static DistMetrics& get() {
+    static DistMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new DistMetrics{
+          reg.counter("dist.pushes"),       reg.counter("dist.pulls"),
+          reg.counter("dist.serves"),       reg.counter("dist.replications"),
+          reg.counter("dist.migrations"),   reg.counter("dist.failed_fetches"),
+          reg.counter("dist.blob_serves"),
+      };
+    }();
+    return *m;
+  }
+};
 
 // fetch_req payload: req_id, doc_key, path of station ids walked so far
 // (originator first).
@@ -142,7 +168,8 @@ std::optional<StationId> StationNode::parent_station() const {
   return broadcast_vector_[p - 1];
 }
 
-Status StationNode::send_push(StationId to, const DocManifest& manifest) {
+Status StationNode::send_push(StationId to, const DocManifest& manifest,
+                              std::uint64_t trace_parent) {
   Writer w;
   manifest.serialize(w);
   net::Message msg;
@@ -151,6 +178,8 @@ Status StationNode::send_push(StationId to, const DocManifest& manifest) {
   msg.type = kPush;
   msg.payload = w.take();
   msg.wire_size = manifest.total_bytes();
+  msg.trace_parent = trace_parent;
+  DistMetrics::get().pushes.inc();
   return fabric_->send(std::move(msg));
 }
 
@@ -160,10 +189,13 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
   if (store_->doc(manifest.doc_key) == nullptr) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
+  auto& tracer = obs::Tracer::global();
+  std::uint64_t span = tracer.begin("dist.push " + manifest.doc_key, 0, fabric_->now());
   for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest));
+    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest, span));
     ++stats_.pushes_forwarded;
   }
+  tracer.end(span, fabric_->now());
   return Status::ok();
 }
 
@@ -197,6 +229,10 @@ void StationNode::on_push(const net::Message& msg) {
   }
   ++stats_.pushes_received;
   const DocManifest& m = manifest.value();
+  // Child span of the sender's push span: the trace mirrors the m-ary tree.
+  auto& tracer = obs::Tracer::global();
+  std::uint64_t span =
+      tracer.begin("dist.push.hop " + m.doc_key, msg.trace_parent, fabric_->now());
   const StoredDoc* existing = store_->doc(m.doc_key);
   if (existing == nullptr) {
     Status s = store_->put_instance(m, /*ephemeral=*/true);
@@ -210,10 +246,11 @@ void StationNode::on_push(const net::Message& msg) {
   // Forward down the tree.
   if (position_ != 0) {
     for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-      Status s = send_push(broadcast_vector_[child - 1], m);
+      Status s = send_push(broadcast_vector_[child - 1], m, span);
       if (s.is_ok()) ++stats_.pushes_forwarded;
     }
   }
+  tracer.end(span, fabric_->now());
 }
 
 Status StationNode::announce_reference(const DocManifest& manifest) {
@@ -262,6 +299,7 @@ Status StationNode::fetch(const std::string& doc_key, FetchCallback cb) {
     return Status::ok();
   }
   ++stats_.fetches_remote;
+  DistMetrics::get().pulls.inc();
 
   // Destination: parent in the tree; with no tree configured, go straight
   // to the document's home station (requires a local reference).
@@ -271,6 +309,7 @@ Status StationNode::fetch(const std::string& doc_key, FetchCallback cb) {
       target = d->manifest.home;
     } else {
       ++stats_.failed_fetches;
+      DistMetrics::get().failed_fetches.inc();
       return {Errc::unavailable, "no parent and no home reference for " + doc_key};
     }
   }
@@ -301,6 +340,7 @@ void StationNode::on_fetch_req(const net::Message& msg) {
   if (d != nullptr && d->form != ObjectForm::reference) {
     // Serve: relay the data back down the request path, store-and-forward.
     ++stats_.serves;
+    DistMetrics::get().serves.inc();
     FetchRsp rsp;
     rsp.req_id = q.req_id;
     rsp.manifest = d->manifest;
@@ -360,7 +400,10 @@ void StationNode::on_fetch_rsp(const net::Message& msg) {
         d->form == ObjectForm::reference) {
       // Watermark hit: copy the physical multimedia data locally.
       Status s = store_->materialize(key, /*ephemeral=*/true);
-      if (s.is_ok()) ++stats_.replications;
+      if (s.is_ok()) {
+        ++stats_.replications;
+        DistMetrics::get().replications.inc();
+      }
     }
     complete_fetch(r.req_id, r.manifest);
     return;
@@ -393,6 +436,7 @@ void StationNode::on_fetch_err(const net::Message& msg) {
   if (!req_id) return;
   auto key = r.str();
   ++stats_.failed_fetches;
+  DistMetrics::get().failed_fetches.inc();
   complete_fetch(req_id.value(),
                  Error{Errc::not_found,
                        "document not found in tree: " + (key ? key.value() : "?")});
@@ -436,6 +480,7 @@ void StationNode::on_blob_req(const net::Message& msg) {
   auto req = BlobReq::decode(msg.payload);
   if (!req) return;
   ++stats_.blob_serves;
+  DistMetrics::get().blob_serves.inc();
   net::Message out;
   out.from = self_;
   out.to = msg.from;
@@ -473,6 +518,7 @@ std::uint64_t StationNode::end_lecture() {
       if (store_->demote_to_reference(key).is_ok()) {
         ++demoted;
         ++stats_.demotions;
+        DistMetrics::get().migrations.inc();
       }
     }
   }

@@ -123,7 +123,8 @@ class StationNode {
   void on_blob_rsp(const net::Message& msg);
 
   void complete_fetch(std::uint64_t req_id, Result<DocManifest> result);
-  [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest);
+  [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest,
+                                 std::uint64_t trace_parent = 0);
 
   net::Fabric* fabric_;
   StationId self_;

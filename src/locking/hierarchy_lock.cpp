@@ -1,6 +1,26 @@
 #include "locking/hierarchy_lock.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace wdoc::locking {
+
+namespace {
+
+// Grants and refusals of the paper's compatibility table, by mode.
+obs::Counter& lock_counter(const char* what, Access mode) {
+  static obs::Counter& grant_r = obs::MetricsRegistry::global().counter(
+      "locking.locks_granted", {{"mode", "read"}});
+  static obs::Counter& grant_w = obs::MetricsRegistry::global().counter(
+      "locking.locks_granted", {{"mode", "write"}});
+  static obs::Counter& conflict_r = obs::MetricsRegistry::global().counter(
+      "locking.conflicts", {{"mode", "read"}});
+  static obs::Counter& conflict_w = obs::MetricsRegistry::global().counter(
+      "locking.conflicts", {{"mode", "write"}});
+  if (what[0] == 'g') return mode == Access::read ? grant_r : grant_w;
+  return mode == Access::read ? conflict_r : conflict_w;
+}
+
+}  // namespace
 
 Status HierarchyLockManager::add_node(LockResourceId id,
                                       std::optional<LockResourceId> parent) {
@@ -76,6 +96,7 @@ Status HierarchyLockManager::lock(UserId user, LockResourceId node, Access mode)
     return Status::ok();
   }
   if (blocked(user, node, mode)) {
+    lock_counter("conflict", mode).inc();
     return {Errc::lock_conflict,
             std::string("lock refused: ") + access_name(mode) + " on node " +
                 std::to_string(node.value())};
@@ -85,6 +106,7 @@ Status HierarchyLockManager::lock(UserId user, LockResourceId node, Access mode)
   } else {
     it->second.holders.emplace(user, mode);
   }
+  lock_counter("grant", mode).inc();
   return Status::ok();
 }
 

@@ -21,6 +21,10 @@ struct Message {
   Bytes payload;          // protocol-defined body
   std::uint64_t wire_size = 0;  // bytes charged on the wire (0 -> payload size)
   std::uint64_t seq = 0;  // assigned by the fabric
+  // Span id of the sender-side span that caused this message (0 = untraced).
+  // Both fabrics are in-process, so the receiver can parent its own span on
+  // it and a trace follows a push down the whole distribution tree.
+  std::uint64_t trace_parent = 0;
 
   [[nodiscard]] std::uint64_t charged_size() const {
     return wire_size != 0 ? wire_size : payload.size() + 64;  // 64 B header

@@ -2,6 +2,16 @@
 
 namespace wdoc::net {
 
+SimNetwork::Instruments SimNetwork::Instruments::make() {
+  auto& reg = obs::MetricsRegistry::global();
+  return Instruments{
+      reg.counter("net.messages_sent"),    reg.counter("net.messages_received"),
+      reg.counter("net.messages_dropped"), reg.counter("net.bytes_sent"),
+      reg.counter("net.bytes_received"),   reg.gauge("net.queue_depth"),
+      reg.histogram("net.delivery_latency", {{"unit", "us"}}),
+  };
+}
+
 StationId SimNetwork::add_station(const StationLink& link) {
   StationId id = station_ids_.next();
   Station s;
@@ -64,11 +74,14 @@ Status SimNetwork::send(Message msg) {
   from.stats.bytes_sent += size;
   total_bytes_ += size;
   total_messages_++;
+  obs_.messages_sent.inc();
+  obs_.bytes_sent.inc(size);
 
   if (!from.online || !to.online ||
       (from.link.loss_rate > 0 && rng_.bernoulli(from.link.loss_rate)) ||
       (to.link.loss_rate > 0 && rng_.bernoulli(to.link.loss_rate))) {
     from.stats.messages_dropped++;
+    obs_.messages_dropped.inc();
     return Status::ok();  // silently lost, like the real thing
   }
 
@@ -96,11 +109,16 @@ Status SimNetwork::send(Message msg) {
   to.down_busy_until = done;
 
   StationId to_id = msg.to;
-  schedule_at(done, [this, to_id, m = std::move(msg), size]() {
+  SimTime sent_at = now_;
+  schedule_at(done, [this, to_id, sent_at, m = std::move(msg), size]() {
     auto it = stations_.find(to_id);
     if (it == stations_.end() || !it->second.online) return;
     it->second.stats.messages_received++;
     it->second.stats.bytes_received += size;
+    obs_.messages_received.inc();
+    obs_.bytes_received.inc(size);
+    obs_.delivery_latency_us.observe(
+        static_cast<double>((now_ - sent_at).as_micros()));
     if (it->second.handler) it->second.handler(m);
   });
   return Status::ok();
@@ -109,6 +127,7 @@ Status SimNetwork::send(Message msg) {
 void SimNetwork::schedule_at(SimTime at, std::function<void()> fn) {
   WDOC_CHECK(at >= now_, "schedule_at in the past");
   events_.push(Event{at, ++event_seq_, std::move(fn)});
+  obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
 }
 
 void SimNetwork::schedule_after(SimTime delta, std::function<void()> fn) {
@@ -121,6 +140,7 @@ bool SimNetwork::step() {
   // idiom for move-only payloads, but copying the function is fine here.
   Event ev = events_.top();
   events_.pop();
+  obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
   now_ = ev.at;
   ev.fn();
   return true;

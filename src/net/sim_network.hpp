@@ -17,6 +17,7 @@
 
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 
 namespace wdoc::net {
 
@@ -39,6 +40,21 @@ struct StationStats {
 class SimNetwork final : public Fabric {
  public:
   explicit SimNetwork(std::uint64_t seed = 42) : rng_(seed) {}
+
+  // Registry instruments shared by every SimNetwork in the process (the
+  // per-station StationStats stay for topology-level queries; these feed
+  // the obs snapshot that benches export). Cached once per network so the
+  // per-message hot path is a plain atomic increment.
+  struct Instruments {
+    obs::Counter& messages_sent;
+    obs::Counter& messages_received;
+    obs::Counter& messages_dropped;
+    obs::Counter& bytes_sent;
+    obs::Counter& bytes_received;
+    obs::Gauge& queue_depth;
+    obs::Histogram& delivery_latency_us;
+    [[nodiscard]] static Instruments make();
+  };
 
   // --- topology ----------------------------------------------------------
   [[nodiscard]] StationId add_station(const StationLink& link = {});
@@ -111,6 +127,7 @@ class SimNetwork final : public Fabric {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_messages_ = 0;
   Rng rng_;
+  Instruments obs_ = Instruments::make();
 };
 
 }  // namespace wdoc::net

@@ -36,9 +36,11 @@ Status ThreadTransport::send(Message msg) {
     box = it->second.get();
   }
   msg.seq = ++seq_;
+  c_sent_.inc();
+  c_bytes_sent_.inc(msg.charged_size());
   {
     std::lock_guard<std::mutex> bg(box->mu);
-    box->queue.push_back(std::move(msg));
+    box->queue.push_back(Queued{std::move(msg), now()});
   }
   box->cv.notify_one();
   return Status::ok();
@@ -53,17 +55,21 @@ SimTime ThreadTransport::now() const {
 
 void ThreadTransport::worker_loop(Mailbox* box) {
   for (;;) {
-    Message msg;
+    Queued item;
     MessageHandler handler;
     {
       std::unique_lock<std::mutex> g(box->mu);
       box->cv.wait(g, [&] { return !box->queue.empty() || !running_.load(); });
       if (box->queue.empty()) return;  // shutdown with empty queue
-      msg = std::move(box->queue.front());
+      item = std::move(box->queue.front());
       box->queue.pop_front();
       handler = box->handler;
       box->busy = true;
     }
+    const Message& msg = item.msg;
+    c_received_.inc();
+    c_bytes_received_.inc(msg.charged_size());
+    h_latency_.observe(static_cast<double>((now() - item.enqueued_at).as_micros()));
     if (handler) handler(msg);
     delivered_.fetch_add(1);
     {

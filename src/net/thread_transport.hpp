@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "net/fabric.hpp"
+#include "obs/metrics.hpp"
 
 namespace wdoc::net {
 
@@ -41,10 +42,14 @@ class ThreadTransport final : public Fabric {
   [[nodiscard]] std::uint64_t messages_delivered() const { return delivered_.load(); }
 
  private:
+  struct Queued {
+    Message msg;
+    SimTime enqueued_at;  // for the delivery-latency histogram
+  };
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<Message> queue;
+    std::deque<Queued> queue;
     MessageHandler handler;
     std::thread worker;
     bool busy = false;
@@ -59,6 +64,17 @@ class ThreadTransport final : public Fabric {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> seq_{0};
   std::chrono::steady_clock::time_point start_;
+
+  // Shared registry instruments (same names as SimNetwork's, so protocol
+  // code is observable identically on either fabric).
+  obs::Counter& c_sent_ = obs::MetricsRegistry::global().counter("net.messages_sent");
+  obs::Counter& c_received_ =
+      obs::MetricsRegistry::global().counter("net.messages_received");
+  obs::Counter& c_bytes_sent_ = obs::MetricsRegistry::global().counter("net.bytes_sent");
+  obs::Counter& c_bytes_received_ =
+      obs::MetricsRegistry::global().counter("net.bytes_received");
+  obs::Histogram& h_latency_ = obs::MetricsRegistry::global().histogram(
+      "net.delivery_latency", {{"unit", "us"}});
 };
 
 }  // namespace wdoc::net

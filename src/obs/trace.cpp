@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+
+namespace wdoc::obs {
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // never destroyed
+  return *t;
+}
+
+std::uint64_t Tracer::begin(std::string name, std::uint64_t parent, SimTime at) {
+  if (!enabled_) return 0;
+  std::lock_guard<std::mutex> g(mu_);
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = ++next_id_;
+  rec.parent = parent;
+  rec.name = std::move(name);
+  rec.start = at;
+  rec.end = at;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void Tracer::end(std::uint64_t id, SimTime at) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> g(mu_);
+  // Ids are dense and assigned in record order: span `id` lives at index
+  // id - (next_id_ - spans_.size()) - 1. Ids from before a clear() fall
+  // outside the window and are ignored.
+  std::uint64_t base = next_id_ - spans_.size();
+  if (id <= base || id > next_id_) return;
+  SpanRecord& rec = spans_[id - base - 1];
+  rec.end = at;
+  rec.finished = true;
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return spans_;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return spans_.size();
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return dropped_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+std::string Tracer::to_json() const {
+  std::vector<SpanRecord> snap = spans();
+  std::string out = "[";
+  char buf[160];
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    const SpanRecord& s = snap[i];
+    std::string name;
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') name += '\\';
+      name += c;
+    }
+    std::snprintf(buf, sizeof buf,
+                  "%s\n{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\","
+                  "\"start_us\":%lld,\"end_us\":%lld,\"finished\":%s}",
+                  i == 0 ? "" : ",", static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent), name.c_str(),
+                  static_cast<long long>(s.start.as_micros()),
+                  static_cast<long long>(s.end.as_micros()),
+                  s.finished ? "true" : "false");
+    out += buf;
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace wdoc::obs

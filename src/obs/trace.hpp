@@ -1,0 +1,63 @@
+// wdoc_obs — lightweight span tracer.
+//
+// Spans are (id, parent, name, start, end) records stamped with SimTime, so
+// a trace is deterministic when the clock is SimNetwork::now() and
+// wall-clock-since-start when it is ThreadTransport::now(). Parent ids may
+// come from another station's span (they travel in net::Message::
+// trace_parent), which lets a trace follow one lecture push down the whole
+// m-ary tree inside a single process — simulator or threads alike.
+//
+// The record buffer is bounded (kMaxSpans); past the cap new spans are
+// counted as dropped rather than recorded, so long benches cannot grow
+// memory without bound.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace wdoc::obs {
+
+struct SpanRecord {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;  // 0 = root
+  std::string name;
+  SimTime start;
+  SimTime end;
+  bool finished = false;
+};
+
+class Tracer {
+ public:
+  static constexpr std::size_t kMaxSpans = 64 * 1024;
+
+  [[nodiscard]] static Tracer& global();
+
+  // Starts a span at `at`; returns its id (0 when tracing is disabled or
+  // the buffer is full — end() on id 0 is a no-op).
+  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent, SimTime at);
+  void end(std::uint64_t id, SimTime at);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  [[nodiscard]] std::vector<SpanRecord> spans() const;
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  // Stable JSON array of spans in id order.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace wdoc::obs

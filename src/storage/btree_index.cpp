@@ -1,5 +1,7 @@
 #include "storage/btree_index.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -67,6 +69,7 @@ void BTreeIndex::insert(const Value& key, RowId rid) {
         n->entries.resize(mid);
         right->next = n->next;
         n->next = right.get();
+        obs::MetricsRegistry::global().counter("storage.btree_splits").inc();
         auto split = std::make_unique<Split>();
         split->sep = right->entries.front();
         split->right = std::move(right);
@@ -92,6 +95,7 @@ void BTreeIndex::insert(const Value& key, RowId rid) {
           std::make_move_iterator(n->children.end()));
       n->keys.resize(mid);
       n->children.resize(mid + 1);
+      obs::MetricsRegistry::global().counter("storage.btree_splits").inc();
       auto out = std::make_unique<Split>();
       out->sep = std::move(up);
       out->right = std::move(right);

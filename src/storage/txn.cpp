@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace wdoc::storage {
 
 const char* txn_lock_mode_name(TxnLockMode m) {
@@ -27,6 +29,46 @@ bool txn_lock_compatible(TxnLockMode held, TxnLockMode wanted) {
 }
 
 namespace {
+
+// Process-wide transaction/lock-wait metrics shared by every manager.
+struct TxnMetrics {
+  obs::Counter& begins;
+  obs::Counter& commits;
+  obs::Counter& aborts;
+  obs::Counter& deadlocks;
+  obs::Counter& lock_timeouts;
+
+  static TxnMetrics& get() {
+    static TxnMetrics* m = [] {
+      auto& reg = obs::MetricsRegistry::global();
+      return new TxnMetrics{
+          reg.counter("storage.txn_begin"),     reg.counter("storage.txn_commit"),
+          reg.counter("storage.txn_abort"),     reg.counter("storage.txn_deadlocks"),
+          reg.counter("storage.lock_timeouts"),
+      };
+    }();
+    return *m;
+  }
+};
+
+obs::Counter& lock_wait_counter(TxnLockMode mode) {
+  // Magic statics: thread-safe one-time registration per mode.
+  static obs::Counter& is =
+      obs::MetricsRegistry::global().counter("storage.lock_waits", {{"mode", "IS"}});
+  static obs::Counter& ix =
+      obs::MetricsRegistry::global().counter("storage.lock_waits", {{"mode", "IX"}});
+  static obs::Counter& sh =
+      obs::MetricsRegistry::global().counter("storage.lock_waits", {{"mode", "S"}});
+  static obs::Counter& ex =
+      obs::MetricsRegistry::global().counter("storage.lock_waits", {{"mode", "X"}});
+  switch (mode) {
+    case TxnLockMode::IS: return is;
+    case TxnLockMode::IX: return ix;
+    case TxnLockMode::S: return sh;
+    case TxnLockMode::X: return ex;
+  }
+  return ex;
+}
 
 // Upgrade lattice: result of holding `a` and additionally needing `b`.
 TxnLockMode combine(TxnLockMode a, TxnLockMode b) {
@@ -86,6 +128,7 @@ std::unique_ptr<Txn> TransactionManager::begin() {
   std::lock_guard<std::mutex> g(mu_);
   TxnId id = ids_.next();
   txns_[id.value()] = TxnState{};
+  TxnMetrics::get().begins.inc();
   LogRecord rec;
   rec.kind = LogKind::begin;
   rec.txn = id.value();
@@ -162,9 +205,15 @@ Status TransactionManager::acquire(TxnId txn, const ResourceKey& key, TxnLockMod
   };
 
   const auto deadline = std::chrono::steady_clock::now() + lock_timeout_;
+  bool waited = false;
   while (!grantable()) {
+    if (!waited) {
+      waited = true;
+      lock_wait_counter(target).inc();
+    }
     if (would_deadlock(txn.value(), key, target)) {
       ++deadlocks_;
+      TxnMetrics::get().deadlocks.inc();
       return {Errc::deadlock,
               "txn " + std::to_string(txn.value()) + " would deadlock on " + key.table};
     }
@@ -172,6 +221,7 @@ Status TransactionManager::acquire(TxnId txn, const ResourceKey& key, TxnLockMod
     auto wait_result = cv_.wait_until(g, deadline);
     waiting_.erase(txn.value());
     if (wait_result == std::cv_status::timeout && !grantable()) {
+      TxnMetrics::get().lock_timeouts.inc();
       return {Errc::timeout,
               "txn " + std::to_string(txn.value()) + " lock timeout on " + key.table};
     }
@@ -225,6 +275,7 @@ Status TransactionManager::finish_commit(Txn& txn) {
     WDOC_TRY(db_.maybe_checkpoint());
   }
   release_all(txn.id());
+  TxnMetrics::get().commits.inc();
   return Status::ok();
 }
 
@@ -264,6 +315,7 @@ void TransactionManager::finish_abort(Txn& txn) {
   (void)db_.log(rec);
   std::lock_guard<std::mutex> g(mu_);
   release_all(txn.id());
+  TxnMetrics::get().aborts.inc();
 }
 
 // --- Txn --------------------------------------------------------------------

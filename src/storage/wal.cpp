@@ -1,5 +1,7 @@
 #include "storage/wal.hpp"
 
+#include "obs/metrics.hpp"
+
 #include <set>
 
 #include "common/hash.hpp"
@@ -102,12 +104,21 @@ Status Wal::append(const LogRecord& record) {
     return {Errc::io_error, "WAL write failed"};
   }
   bytes_appended_ += buf.size();
+  static obs::Counter& c_appends =
+      obs::MetricsRegistry::global().counter("storage.wal_appends");
+  static obs::Counter& c_bytes =
+      obs::MetricsRegistry::global().counter("storage.wal_bytes");
+  c_appends.inc();
+  c_bytes.inc(buf.size());
   return Status::ok();
 }
 
 Status Wal::sync() {
   if (file_ == nullptr) return {Errc::io_error, "WAL not open"};
   if (std::fflush(file_) != 0) return {Errc::io_error, "WAL flush failed"};
+  static obs::Counter& c_fsyncs =
+      obs::MetricsRegistry::global().counter("storage.wal_fsyncs");
+  c_fsyncs.inc();
   return Status::ok();
 }
 

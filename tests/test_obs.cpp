@@ -1,0 +1,181 @@
+// wdoc_obs: registry addressing/label semantics, histogram bucket
+// boundaries, snapshot/JSON export stability, tracer span trees, and
+// multi-threaded increments (run under TSan via WDOC_SANITIZE=thread).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace wdoc;
+using namespace wdoc::obs;
+
+namespace {
+
+// Tests share the global registry with every other linked subsystem, so
+// each uses test-local metric names.
+
+TEST(MetricsRegistry, SameNameSameInstrument) {
+  auto& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("obs_test.hits");
+  Counter& b = reg.counter("obs_test.hits");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  b.inc(2);
+  EXPECT_EQ(a.value(), 5u);
+}
+
+TEST(MetricsRegistry, LabelsAddressDistinctInstruments) {
+  auto& reg = MetricsRegistry::global();
+  Counter& read = reg.counter("obs_test.ops", {{"mode", "read"}});
+  Counter& write = reg.counter("obs_test.ops", {{"mode", "write"}});
+  EXPECT_NE(&read, &write);
+  // Label order must not matter: std::map keys are sorted.
+  Counter& ab = reg.counter("obs_test.multi", {{"a", "1"}, {"b", "2"}});
+  Counter& ba = reg.counter("obs_test.multi", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsIdentity) {
+  auto& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("obs_test.reset_me");
+  Gauge& g = reg.gauge("obs_test.reset_gauge");
+  c.inc(7);
+  g.set(-4);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(&c, &reg.counter("obs_test.reset_me"));  // reference survives
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // upper_bound(i) = 2^i; bucket 0 holds everything <= 1 (and negatives).
+  EXPECT_EQ(Histogram::upper_bound(0), 1.0);
+  EXPECT_EQ(Histogram::upper_bound(3), 8.0);
+  EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kBuckets - 1)));
+
+  EXPECT_EQ(Histogram::bucket_of(-5.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1.5), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2.0), 1u);  // boundaries are inclusive
+  EXPECT_EQ(Histogram::bucket_of(2.1), 2u);
+  EXPECT_EQ(Histogram::bucket_of(1024.0), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1025.0), 11u);
+  EXPECT_EQ(Histogram::bucket_of(1e300), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveAndQuantile) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(3.0);    // bucket 2 (2 < v <= 4)
+  for (int i = 0; i < 10; ++i) h.observe(1000.0);  // bucket 10
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 90 * 3.0 + 10 * 1000.0);
+  EXPECT_EQ(h.bucket_count(2), 90u);
+  EXPECT_EQ(h.bucket_count(10), 10u);
+  EXPECT_EQ(h.quantile(0.50), 4.0);     // bucket 2's upper bound
+  EXPECT_EQ(h.quantile(0.99), 1024.0);  // bucket 10's upper bound
+}
+
+TEST(Snapshot, JsonIsStableAndCompleteAcrossExports) {
+  auto& reg = MetricsRegistry::global();
+  reg.counter("obs_test.json_counter", {{"k", "v"}}).inc(42);
+  reg.gauge("obs_test.json_gauge").set(-3);
+  reg.histogram("obs_test.json_hist", {{"unit", "us"}}).observe(100.0);
+
+  Snapshot snap = reg.snapshot();
+  std::string a = to_json(snap);
+  std::string b = to_json(reg.snapshot());
+  EXPECT_EQ(a, b);  // same state -> byte-identical export
+
+  EXPECT_NE(a.find("\"name\":\"obs_test.json_counter\""), std::string::npos);
+  EXPECT_NE(a.find("\"k\":\"v\""), std::string::npos);
+  EXPECT_NE(a.find("\"value\":42"), std::string::npos);
+  EXPECT_NE(a.find("\"value\":-3"), std::string::npos);
+  // 100 lands in bucket (64, 128]: le=128.
+  EXPECT_NE(a.find("\"le\":128"), std::string::npos);
+
+  // The text table renders one row per instrument, sorted.
+  std::string table = to_table(snap);
+  EXPECT_NE(table.find("obs_test.json_counter{k=v}"), std::string::npos);
+
+  // Snapshot keys are sorted, so diffs across runs are clean.
+  for (std::size_t i = 1; i < snap.samples.size(); ++i) {
+    EXPECT_LT(snap.samples[i - 1].key(), snap.samples[i].key());
+  }
+}
+
+TEST(Metrics, MultiThreadedIncrementsAreExact) {
+  auto& reg = MetricsRegistry::global();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  Counter& c = reg.counter("obs_test.mt_counter");
+  Histogram& h = reg.histogram("obs_test.mt_hist");
+  Gauge& g = reg.gauge("obs_test.mt_gauge");
+  c.reset();
+  h.reset();
+  g.reset();
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &c, &h, &g, t] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1);
+        h.observe(static_cast<double>(i % 1000));
+        // Concurrent registration of the same key must be safe too.
+        reg.counter("obs_test.mt_shared", {{"t", t % 2 ? "odd" : "even"}}).inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(g.value(), static_cast<std::int64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.counter("obs_test.mt_shared", {{"t", "odd"}}).value() +
+                reg.counter("obs_test.mt_shared", {{"t", "even"}}).value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(Tracer, SpanParentageAndClear) {
+  Tracer& tr = Tracer::global();
+  tr.set_enabled(true);
+  tr.clear();
+
+  std::uint64_t root = tr.begin("push", 0, SimTime::millis(10));
+  ASSERT_NE(root, 0u);
+  std::uint64_t child = tr.begin("hop", root, SimTime::millis(12));
+  tr.end(child, SimTime::millis(15));
+  tr.end(root, SimTime::millis(20));
+
+  auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_TRUE(spans[0].finished);
+  EXPECT_EQ(spans[1].end, SimTime::millis(15));
+
+  std::string json = tr.to_json();
+  EXPECT_NE(json.find("\"name\":\"hop\""), std::string::npos);
+  EXPECT_NE(json.find("\"start_us\":12000"), std::string::npos);
+
+  // end() on a stale id from before clear() must be a no-op.
+  tr.clear();
+  std::uint64_t fresh = tr.begin("fresh", 0, SimTime::zero());
+  tr.end(root, SimTime::seconds(99));
+  auto after = tr.spans();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0].id, fresh);
+  EXPECT_FALSE(after[0].finished);
+
+  tr.set_enabled(false);
+  EXPECT_EQ(tr.begin("disabled", 0, SimTime::zero()), 0u);
+  tr.clear();
+}
+
+}  // namespace

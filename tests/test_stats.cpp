@@ -62,6 +62,50 @@ TEST(Percentiles, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(p.p99(), 0.0);
 }
 
+TEST(Percentiles, ExactBelowReservoirCap) {
+  // Below the cap the reservoir never kicks in: behaviour is identical to
+  // the old exact sampler.
+  Percentiles p(/*max_samples=*/1000);
+  for (int i = 1000; i >= 1; --i) p.add(static_cast<double>(i));
+  EXPECT_EQ(p.count(), 1000u);
+  EXPECT_EQ(p.retained(), 1000u);
+  EXPECT_DOUBLE_EQ(p.p50(), 500.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 1000.0);
+}
+
+TEST(Percentiles, ReservoirCapsMemoryAndStaysRepresentative) {
+  constexpr std::size_t kCap = 512;
+  Percentiles p(kCap);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) p.add(static_cast<double>(i));
+  // Memory is bounded by the cap while count() tracks everything seen.
+  EXPECT_EQ(p.retained(), kCap);
+  EXPECT_EQ(p.count(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(p.max_samples(), kCap);
+  // A uniform subsample of U[0, kN) keeps quantiles roughly in place:
+  // with 512 samples the p50 standard error is ~2.2% of the range.
+  EXPECT_NEAR(p.p50(), kN / 2.0, 0.15 * kN);
+  EXPECT_NEAR(p.p90(), 0.9 * kN, 0.15 * kN);
+  // Every retained value really was an input.
+  EXPECT_GE(p.quantile(0.0), 0.0);
+  EXPECT_LT(p.quantile(1.0), static_cast<double>(kN));
+}
+
+TEST(Percentiles, ReservoirIsDeterministic) {
+  Percentiles a(64), b(64);
+  for (int i = 0; i < 10000; ++i) {
+    a.add(static_cast<double>(i % 997));
+    b.add(static_cast<double>(i % 997));
+  }
+  EXPECT_DOUBLE_EQ(a.p50(), b.p50());
+  EXPECT_DOUBLE_EQ(a.p99(), b.p99());
+}
+
+TEST(Percentiles, DefaultCapIsLarge) {
+  Percentiles p;
+  EXPECT_EQ(p.max_samples(), Percentiles::kDefaultMaxSamples);
+}
+
 // --- Query::explain ----------------------------------------------------------
 
 TEST(Explain, ReportsAccessPath) {
