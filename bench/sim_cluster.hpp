@@ -4,26 +4,44 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dist/station_node.hpp"
 #include "net/sim_network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 
 namespace wdoc::bench {
 
-// Every sim bench accepts --metrics-json=<path>: when present, the global
-// obs registry snapshot is dumped as stable JSON on exit, suitable for
-// BENCH_*.json trajectory tracking in CI. Construct one at the top of
-// main(); the flag is stripped from argv so downstream parsers (e.g.
-// google-benchmark) never see it.
+// Every sim bench accepts --metrics-json=<path> and --trace-json=<path>:
+// when present, the global obs registry snapshot is dumped as stable JSON
+// on exit (suitable for BENCH_*.json trajectory tracking in CI) and the
+// global tracer is enabled and drained into a Chrome trace-event file for
+// ui.perfetto.dev. Construct one at the top of main(); the flags are
+// stripped from argv so downstream parsers (e.g. google-benchmark) never
+// see them. While alive, an unhandled exception (e.g. a failed expect())
+// dumps the flight recorder to stderr before aborting.
 class MetricsDump {
  public:
   MetricsDump(int& argc, char** argv)
-      : path_(obs::metrics_json_arg(argc, argv)) {}
+      : path_(obs::metrics_json_arg(argc, argv)),
+        trace_path_(obs::trace_json_arg(argc, argv)),
+        previous_terminate_(std::set_terminate(&MetricsDump::on_terminate)) {}
   ~MetricsDump() {
+    std::set_terminate(previous_terminate_);
+    if (!trace_path_.empty()) {
+      if (obs::write_trace_file(trace_path_)) {
+        std::fprintf(stderr, "trace written to %s\n", trace_path_.c_str());
+      } else {
+        std::fprintf(stderr, "warning: could not write trace to %s\n",
+                     trace_path_.c_str());
+      }
+    }
     if (path_.empty()) return;
     if (obs::write_json_file(path_)) {
       std::fprintf(stderr, "metrics snapshot written to %s\n", path_.c_str());
@@ -36,7 +54,15 @@ class MetricsDump {
   MetricsDump& operator=(const MetricsDump&) = delete;
 
  private:
+  static void on_terminate() {
+    obs::FlightRecorder::global().dump_to_stderr(
+        "bench aborted — flight recorder");
+    std::abort();
+  }
+
   std::string path_;
+  std::string trace_path_;
+  std::terminate_handler previous_terminate_;
 };
 
 class SimCluster {

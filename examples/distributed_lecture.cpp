@@ -9,12 +9,15 @@
 // buffer space — the paper's §4 mechanisms in one sitting.
 //
 // Build & run:  ./build/examples/distributed_lecture
+//               [--metrics-json=<path>] [--trace-json=<path>]
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "dist/coordinator.hpp"
 #include "net/sim_network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
 
 using namespace wdoc;
 
@@ -60,7 +63,9 @@ SimTime broadcast_and_measure(net::SimNetwork& net, std::vector<Station>& statio
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = obs::metrics_json_arg(argc, argv);
+  const std::string trace_path = obs::trace_json_arg(argc, argv);
   net::SimNetwork net(1999);
   net::StationLink campus;
   campus.up_bps = 10e6;   // 10 Mb/s campus uplinks, 1999-style
@@ -160,5 +165,12 @@ int main() {
   std::printf("\nmetrics (wdoc_obs process-wide registry):\n");
   std::fputs(obs::to_table(obs::MetricsRegistry::global().snapshot()).c_str(),
              stdout);
+  if (!trace_path.empty() && obs::write_trace_file(trace_path)) {
+    std::printf("trace written to %s — load it at ui.perfetto.dev\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty() && obs::write_json_file(metrics_path)) {
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

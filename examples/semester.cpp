@@ -11,8 +11,10 @@
 //     semester ends with assessment reports and a QA audit of the courses.
 //
 // Build & run:  ./build/examples/semester
+//               [--metrics-json=<path>] [--trace-json=<path>]
 #include <cstdio>
 #include <memory>
+#include <string>
 
 #include "core/awareness.hpp"
 #include "core/registrar.hpp"
@@ -21,6 +23,9 @@
 #include "dist/lecture.hpp"
 #include "docmodel/qa_checker.hpp"
 #include "net/sim_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scrape.hpp"
+#include "obs/trace_export.hpp"
 #include "workload/patterns.hpp"
 
 using namespace wdoc;
@@ -59,7 +64,9 @@ core::CourseSpec make_course(const std::string& num, const std::string& title,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_path = obs::metrics_json_arg(argc, argv);
+  const std::string trace_path = obs::trace_json_arg(argc, argv);
   net::SimNetwork net(1999);
   net::StationLink campus;
   campus.up_bps = 10e6;
@@ -257,8 +264,50 @@ int main() {
                 findings.links_checked);
   }
 
+  // End-of-term cluster scrape: the request fans down the broadcast tree
+  // and every station's counters merge on the way back up into one
+  // snapshot at the administrator. The campus network has quiesced now
+  // that lectures are over (lecture-time loss was the interesting part),
+  // and a dropped scrape message would stall that attempt's merge — so the
+  // administrator re-issues until one completes, like lecture repair.
+  net::StationLink quiet = campus;
+  quiet.loss_rate = 0.0;
+  net.set_link(admin_id, quiet).expect("quiesce admin");
+  net.set_link(instructor_station, quiet).expect("quiesce instructor");
+  for (auto& s : students) net.set_link(s.id, quiet).expect("quiesce student");
+  // Loss may have left some members with stale tree views; one reliable
+  // re-announcement brings every station onto the same vector and m.
+  admin.announce_vector().expect("re-announce");
+  net.run();
+  obs::Snapshot cluster;
+  bool scraped = false;
+  int scrape_attempts = 0;
+  while (!scraped && scrape_attempts < 64) {
+    admin
+        .scrape_cluster([&](obs::Snapshot snap, SimTime) {
+          cluster = std::move(snap);
+          scraped = true;
+        })
+        .expect("scrape");
+    net.run();
+    ++scrape_attempts;
+  }
+  std::printf("end-of-term cluster scrape (%d attempt(s)): "
+              "%zu station-labeled samples; pushes received=%.0f, "
+              "instances demoted=%.0f\n",
+              scrape_attempts, cluster.samples.size(),
+              obs::counter_total(cluster, "station.pushes_received"),
+              obs::counter_total(cluster, "station.demotions"));
+
   std::printf("network totals: %llu messages, %.1f MB on the wire\n",
               (unsigned long long)net.total_messages(),
               static_cast<double>(net.total_bytes_on_wire()) / 1e6);
+  if (!trace_path.empty() && obs::write_trace_file(trace_path)) {
+    std::printf("trace written to %s — load it at ui.perfetto.dev\n",
+                trace_path.c_str());
+  }
+  if (!metrics_path.empty() && obs::write_json_file(metrics_path)) {
+    std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+  }
   return 0;
 }

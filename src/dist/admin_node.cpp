@@ -62,7 +62,52 @@ Status AdminNode::announce_vector() {
   return Status::ok();
 }
 
+Status AdminNode::scrape_cluster(ScrapeCallback cb) {
+  const auto& vec = coordinator_->broadcast_vector();
+  if (vec.empty()) {
+    // Nothing has joined yet: complete immediately with an empty snapshot.
+    if (cb) cb(obs::Snapshot{}, fabric_->now());
+    ++scrapes_completed_;
+    return Status::ok();
+  }
+  std::uint64_t req_id = (self_.value() << 24) | ++next_scrape_;
+  pending_scrapes_[req_id] = std::move(cb);
+  net::Message msg;
+  msg.from = self_;
+  msg.to = vec.front();  // tree root: position 1 of the broadcast vector
+  msg.type = net::kMetricsRequest;
+  Writer w;
+  w.u64(req_id);
+  msg.payload = w.take();
+  Status s = fabric_->send(std::move(msg));
+  if (!s.is_ok()) pending_scrapes_.erase(req_id);
+  return s;
+}
+
+void AdminNode::on_scrape_rsp(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto req_id = r.u64();
+  if (!req_id) return;
+  auto it = pending_scrapes_.find(req_id.value());
+  if (it == pending_scrapes_.end()) return;
+  auto snap = obs::decode_snapshot(r);
+  if (!snap) {
+    WDOC_ERROR("admin %llu: bad scrape response: %s",
+               static_cast<unsigned long long>(self_.value()),
+               snap.message().c_str());
+    return;
+  }
+  ScrapeCallback cb = std::move(it->second);
+  pending_scrapes_.erase(it);
+  ++scrapes_completed_;
+  if (cb) cb(std::move(snap).value(), fabric_->now());
+}
+
 void AdminNode::on_message(const net::Message& msg) {
+  if (msg.type == net::kMetricsResponse) {
+    on_scrape_rsp(msg);
+    return;
+  }
   if (msg.type != kJoinReq) {
     WDOC_WARN("admin %llu: unexpected message type %s",
               static_cast<unsigned long long>(self_.value()), msg.type.c_str());

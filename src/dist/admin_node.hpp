@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 
 #include "dist/coordinator.hpp"
 #include "net/fabric.hpp"
@@ -22,6 +23,8 @@ namespace wdoc::dist {
 
 class AdminNode {
  public:
+  using ScrapeCallback = StationNode::ScrapeCallback;
+
   AdminNode(net::Fabric& fabric, StationId self, Coordinator& coordinator,
             std::uint64_t m = 2);
 
@@ -34,6 +37,14 @@ class AdminNode {
   // Re-sends the current vector to every member (e.g. after adapt()).
   [[nodiscard]] Status announce_vector();
 
+  // Cluster-wide metrics scrape: sends obs.metrics_req to the broadcast
+  // tree's root; the request fans down the m-ary tree and the per-station
+  // snapshots merge on the way back up (hierarchical aggregation along the
+  // same placement equations the lecture push uses). `cb` fires here with
+  // the single merged snapshot — render it with obs::to_table / to_json.
+  [[nodiscard]] Status scrape_cluster(ScrapeCallback cb);
+  [[nodiscard]] std::uint64_t scrapes_completed() const { return scrapes_completed_; }
+
   [[nodiscard]] std::uint64_t joins_served() const { return joins_served_; }
 
   static constexpr const char* kJoinReq = "admin.join_req";
@@ -42,6 +53,7 @@ class AdminNode {
 
  private:
   void on_message(const net::Message& msg);
+  void on_scrape_rsp(const net::Message& msg);
   [[nodiscard]] Status send_vector_to(StationId to) const;
 
   net::Fabric* fabric_;
@@ -49,6 +61,9 @@ class AdminNode {
   Coordinator* coordinator_;
   std::uint64_t m_;
   std::uint64_t joins_served_ = 0;
+  std::uint64_t scrapes_completed_ = 0;
+  std::map<std::uint64_t, ScrapeCallback> pending_scrapes_;
+  std::uint64_t next_scrape_ = 0;
 };
 
 // Client side: lets a StationNode join through the administrator instead of

@@ -1,5 +1,6 @@
 #include "dist/lecture.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace wdoc::dist {
@@ -66,6 +67,12 @@ Result<std::size_t> LectureSession::repair() {
   }
   repairs_issued_ += issued;
   obs::MetricsRegistry::global().counter("dist.anti_entropy_repairs").inc(issued);
+  if (issued > 0) {
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::repair,
+        std::to_string(issued) + " repair pull(s) for " + key,
+        instructor_->id().value());
+  }
   return issued;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -190,7 +191,8 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
   auto& tracer = obs::Tracer::global();
-  std::uint64_t span = tracer.begin("dist.push " + manifest.doc_key, 0, fabric_->now());
+  std::uint64_t span =
+      tracer.begin("dist.push " + manifest.doc_key, 0, fabric_->now(), self_.value());
   for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
     WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest, span));
     ++stats_.pushes_forwarded;
@@ -214,6 +216,10 @@ void StationNode::on_message(const net::Message& msg) {
     on_blob_req(msg);
   } else if (msg.type == kBlobRsp) {
     on_blob_rsp(msg);
+  } else if (msg.type == net::kMetricsRequest) {
+    on_scrape_req(msg);
+  } else if (msg.type == net::kMetricsResponse) {
+    on_scrape_rsp(msg);
   } else {
     WDOC_WARN("station %llu: unknown message type %s",
               static_cast<unsigned long long>(self_.value()), msg.type.c_str());
@@ -231,8 +237,8 @@ void StationNode::on_push(const net::Message& msg) {
   const DocManifest& m = manifest.value();
   // Child span of the sender's push span: the trace mirrors the m-ary tree.
   auto& tracer = obs::Tracer::global();
-  std::uint64_t span =
-      tracer.begin("dist.push.hop " + m.doc_key, msg.trace_parent, fabric_->now());
+  std::uint64_t span = tracer.begin("dist.push.hop " + m.doc_key, msg.trace_parent,
+                                    fabric_->now(), self_.value());
   const StoredDoc* existing = store_->doc(m.doc_key);
   if (existing == nullptr) {
     Status s = store_->put_instance(m, /*ephemeral=*/true);
@@ -403,6 +409,11 @@ void StationNode::on_fetch_rsp(const net::Message& msg) {
       if (s.is_ok()) {
         ++stats_.replications;
         DistMetrics::get().replications.inc();
+        obs::FlightRecorder::global().record(
+            obs::FlightKind::replication,
+            key + " retrieval " + std::to_string(count) + "/" +
+                std::to_string(config_.watermark) + ": materialized locally",
+            self_.value(), 0, fabric_->now());
       }
     }
     complete_fetch(r.req_id, r.manifest);
@@ -523,7 +534,169 @@ std::uint64_t StationNode::end_lecture() {
     }
   }
   // "Essentially, buffer spaces are used only" — reclaim them.
-  return store_->blobs().gc();
+  std::uint64_t reclaimed = store_->blobs().gc();
+  if (demoted > 0) {
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::migration,
+        std::to_string(demoted) + " instance(s) demoted to references, " +
+            std::to_string(reclaimed) + " B reclaimed",
+        self_.value(), 0, fabric_->now());
+  }
+  return reclaimed;
+}
+
+// --- observability plane -----------------------------------------------------
+
+obs::Snapshot StationNode::local_snapshot() const {
+  obs::Labels labels{{"station", std::to_string(self_.value())}};
+  obs::Snapshot snap;
+  auto counter = [&](const char* name, std::uint64_t v) {
+    obs::MetricSample s;
+    s.name = name;
+    s.labels = labels;
+    s.kind = obs::MetricSample::Kind::counter;
+    s.value = static_cast<double>(v);
+    snap.samples.push_back(std::move(s));
+  };
+  auto gauge = [&](const char* name, std::uint64_t v) {
+    obs::MetricSample s;
+    s.name = name;
+    s.labels = labels;
+    s.kind = obs::MetricSample::Kind::gauge;
+    s.value = static_cast<double>(v);
+    snap.samples.push_back(std::move(s));
+  };
+  counter("station.blob_serves", stats_.blob_serves);
+  counter("station.demotions", stats_.demotions);
+  counter("station.failed_fetches", stats_.failed_fetches);
+  counter("station.fetches_local", stats_.fetches_local);
+  counter("station.fetches_remote", stats_.fetches_remote);
+  counter("station.forwards_up", stats_.forwards_up);
+  counter("station.pushes_forwarded", stats_.pushes_forwarded);
+  counter("station.pushes_received", stats_.pushes_received);
+  counter("station.relays", stats_.relays);
+  counter("station.replications", stats_.replications);
+  counter("station.serves", stats_.serves);
+  gauge("station.disk_bytes", store_->disk_bytes());
+  gauge("station.docs", store_->doc_count());
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const obs::MetricSample& a, const obs::MetricSample& b) {
+              return a.key() < b.key();
+            });
+  return snap;
+}
+
+Status StationNode::scrape_tree(ScrapeCallback cb) {
+  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  return start_scrape(req_id, std::nullopt, std::move(cb));
+}
+
+Status StationNode::start_scrape(std::uint64_t req_id,
+                                 std::optional<StationId> reply_to,
+                                 ScrapeCallback cb) {
+  // Duplicate request for an in-flight scrape: stations can be covered
+  // twice when tree views are momentarily inconsistent (a missed
+  // admin.vector update). Answer with just the local snapshot — fanning
+  // out again would clobber the in-flight merge and orphan its requester.
+  if (pending_scrapes_.contains(req_id)) {
+    if (reply_to) {
+      net::Message out;
+      out.from = self_;
+      out.to = *reply_to;
+      out.type = net::kMetricsResponse;
+      Writer w;
+      w.u64(req_id);
+      obs::encode_snapshot(w, local_snapshot());
+      out.payload = w.take();
+      return fabric_->send(std::move(out));
+    }
+    return Status::ok();
+  }
+  PendingScrape pending;
+  pending.reply_to = reply_to;
+  pending.cb = std::move(cb);
+  pending.acc = local_snapshot();
+
+  std::vector<StationId> targets;
+  if (position_ != 0) {
+    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+      targets.push_back(broadcast_vector_[child - 1]);
+    }
+  }
+  pending.outstanding = targets.size();
+  pending_scrapes_[req_id] = std::move(pending);
+
+  for (StationId child : targets) {
+    net::Message msg;
+    msg.from = self_;
+    msg.to = child;
+    msg.type = net::kMetricsRequest;
+    Writer w;
+    w.u64(req_id);
+    msg.payload = w.take();
+    Status s = fabric_->send(std::move(msg));
+    if (!s.is_ok()) {
+      // An unreachable child still has to be accounted for, or the merge
+      // would wait forever. Its subtree is simply absent from the result.
+      --pending_scrapes_[req_id].outstanding;
+      WDOC_WARN("station %llu: scrape fan-out to %llu failed: %s",
+                static_cast<unsigned long long>(self_.value()),
+                static_cast<unsigned long long>(child.value()), s.message().c_str());
+    }
+  }
+  finish_scrape_if_done(req_id);
+  return Status::ok();
+}
+
+void StationNode::on_scrape_req(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto req_id = r.u64();
+  if (!req_id) return;
+  (void)start_scrape(req_id.value(), msg.from, nullptr);
+}
+
+void StationNode::on_scrape_rsp(const net::Message& msg) {
+  Reader r(msg.payload);
+  auto req_id = r.u64();
+  if (!req_id) return;
+  auto it = pending_scrapes_.find(req_id.value());
+  if (it == pending_scrapes_.end()) return;
+  auto child_snap = obs::decode_snapshot(r);
+  if (!child_snap) {
+    WDOC_WARN("station %llu: bad scrape response from %llu: %s",
+              static_cast<unsigned long long>(self_.value()),
+              static_cast<unsigned long long>(msg.from.value()),
+              child_snap.message().c_str());
+  } else {
+    obs::merge_snapshot(it->second.acc, child_snap.value());
+  }
+  if (it->second.outstanding > 0) --it->second.outstanding;
+  finish_scrape_if_done(req_id.value());
+}
+
+void StationNode::finish_scrape_if_done(std::uint64_t req_id) {
+  auto it = pending_scrapes_.find(req_id);
+  if (it == pending_scrapes_.end() || it->second.outstanding != 0) return;
+  PendingScrape done = std::move(it->second);
+  pending_scrapes_.erase(it);
+  if (done.reply_to) {
+    net::Message out;
+    out.from = self_;
+    out.to = *done.reply_to;
+    out.type = net::kMetricsResponse;
+    Writer w;
+    w.u64(req_id);
+    obs::encode_snapshot(w, done.acc);
+    out.payload = w.take();
+    (void)fabric_->send(std::move(out));
+  }
+  if (done.cb) {
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::scrape,
+        "scrape merged " + std::to_string(done.acc.samples.size()) + " sample(s)",
+        self_.value(), 0, fabric_->now());
+    done.cb(std::move(done.acc), fabric_->now());
+  }
 }
 
 }  // namespace wdoc::dist

@@ -24,6 +24,7 @@
 #include "dist/mtree.hpp"
 #include "dist/object_store.hpp"
 #include "net/fabric.hpp"
+#include "obs/scrape.hpp"
 
 namespace wdoc::dist {
 
@@ -54,6 +55,7 @@ class StationNode {
  public:
   using FetchCallback = std::function<void(Result<DocManifest>, SimTime)>;
   using BlobCallback = std::function<void(Status, SimTime)>;
+  using ScrapeCallback = std::function<void(obs::Snapshot, SimTime)>;
 
   StationNode(net::Fabric& fabric, StationId self, ObjectStore& store,
               NodeConfig config = {});
@@ -97,6 +99,19 @@ class StationNode {
   // reference; returns reclaimable bytes (after the BlobStore gc).
   std::uint64_t end_lecture();
 
+  // --- observability plane -------------------------------------------------
+  // This station's own counters as a metrics snapshot, every sample tagged
+  // with a `station=<id>` label. This is what a scrape response carries.
+  [[nodiscard]] obs::Snapshot local_snapshot() const;
+
+  // Initiates a hierarchical scrape of this node's subtree: the request
+  // fans down the broadcast tree, each node merges its children's responses
+  // into its own station-labeled snapshot on the way back up, and `cb`
+  // fires once here with the subtree-wide merge. Called on the tree root
+  // (directly or via AdminNode::scrape_cluster) this yields the whole
+  // cluster in one snapshot.
+  [[nodiscard]] Status scrape_tree(ScrapeCallback cb);
+
   [[nodiscard]] ObjectStore& store() { return *store_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
   [[nodiscard]] StationId id() const { return self_; }
@@ -121,10 +136,18 @@ class StationNode {
   void on_fetch_err(const net::Message& msg);
   void on_blob_req(const net::Message& msg);
   void on_blob_rsp(const net::Message& msg);
+  void on_scrape_req(const net::Message& msg);
+  void on_scrape_rsp(const net::Message& msg);
 
   void complete_fetch(std::uint64_t req_id, Result<DocManifest> result);
   [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest,
                                  std::uint64_t trace_parent = 0);
+  // Starts pending-scrape state for `req_id` and fans the request to this
+  // node's tree children; completes immediately at a leaf.
+  [[nodiscard]] Status start_scrape(std::uint64_t req_id,
+                                    std::optional<StationId> reply_to,
+                                    ScrapeCallback cb);
+  void finish_scrape_if_done(std::uint64_t req_id);
 
   net::Fabric* fabric_;
   StationId self_;
@@ -142,6 +165,16 @@ class StationNode {
     BlobCallback cb;
   };
   std::map<std::uint64_t, PendingBlob> pending_blobs_;
+  // Hierarchical scrape in flight: children yet to answer, the merged
+  // snapshot so far, and where the final merge goes (up the tree, or a
+  // local callback at the initiator).
+  struct PendingScrape {
+    std::optional<StationId> reply_to;
+    ScrapeCallback cb;
+    std::size_t outstanding = 0;
+    obs::Snapshot acc;
+  };
+  std::map<std::uint64_t, PendingScrape> pending_scrapes_;
   std::uint64_t next_req_ = 0;
 };
 

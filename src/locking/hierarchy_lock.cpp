@@ -1,5 +1,6 @@
 #include "locking/hierarchy_lock.hpp"
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace wdoc::locking {
@@ -97,6 +98,11 @@ Status HierarchyLockManager::lock(UserId user, LockResourceId node, Access mode)
   }
   if (blocked(user, node, mode)) {
     lock_counter("conflict", mode).inc();
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::lock_conflict,
+        std::string(access_name(mode)) + " refused on node " +
+            std::to_string(node.value()),
+        /*station=*/0, /*actor=*/user.value());
     return {Errc::lock_conflict,
             std::string("lock refused: ") + access_name(mode) + " on node " +
                 std::to_string(node.value())};

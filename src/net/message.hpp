@@ -31,4 +31,16 @@ struct Message {
   }
 };
 
+// In-fabric metrics scraping (the observability plane's own protocol):
+//   MetricsRequest   {req_id}                  fans down the m-ary tree —
+//                                              each node forwards to its
+//                                              broadcast-tree children;
+//   MetricsResponse  {req_id, snapshot}        aggregates back up — a node
+//                                              merges every child response
+//                                              into its own station-labeled
+//                                              snapshot before replying.
+// Payloads are built with obs::encode_snapshot; see StationNode::on_scrape_*.
+inline constexpr const char* kMetricsRequest = "obs.metrics_req";
+inline constexpr const char* kMetricsResponse = "obs.metrics_rsp";
+
 }  // namespace wdoc::net

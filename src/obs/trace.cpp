@@ -9,7 +9,8 @@ Tracer& Tracer::global() {
   return *t;
 }
 
-std::uint64_t Tracer::begin(std::string name, std::uint64_t parent, SimTime at) {
+std::uint64_t Tracer::begin(std::string name, std::uint64_t parent, SimTime at,
+                            std::uint64_t station) {
   if (!enabled_) return 0;
   std::lock_guard<std::mutex> g(mu_);
   if (spans_.size() >= kMaxSpans) {
@@ -19,6 +20,7 @@ std::uint64_t Tracer::begin(std::string name, std::uint64_t parent, SimTime at) 
   SpanRecord rec;
   rec.id = ++next_id_;
   rec.parent = parent;
+  rec.station = station;
   rec.name = std::move(name);
   rec.start = at;
   rec.end = at;
@@ -42,6 +44,16 @@ void Tracer::end(std::uint64_t id, SimTime at) {
 std::vector<SpanRecord> Tracer::spans() const {
   std::lock_guard<std::mutex> g(mu_);
   return spans_;
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<SpanRecord> out = std::move(spans_);
+  spans_ = {};
+  // next_id_ keeps counting: the id-window arithmetic in end() then treats
+  // drained ids like pre-clear() ids and ignores them.
+  dropped_ = 0;
+  return out;
 }
 
 std::size_t Tracer::span_count() const {
@@ -72,10 +84,11 @@ std::string Tracer::to_json() const {
       name += c;
     }
     std::snprintf(buf, sizeof buf,
-                  "%s\n{\"id\":%llu,\"parent\":%llu,\"name\":\"%s\","
+                  "%s\n{\"id\":%llu,\"parent\":%llu,\"station\":%llu,\"name\":\"%s\","
                   "\"start_us\":%lld,\"end_us\":%lld,\"finished\":%s}",
                   i == 0 ? "" : ",", static_cast<unsigned long long>(s.id),
-                  static_cast<unsigned long long>(s.parent), name.c_str(),
+                  static_cast<unsigned long long>(s.parent),
+                  static_cast<unsigned long long>(s.station), name.c_str(),
                   static_cast<long long>(s.start.as_micros()),
                   static_cast<long long>(s.end.as_micros()),
                   s.finished ? "true" : "false");

@@ -24,6 +24,7 @@ namespace wdoc::obs {
 struct SpanRecord {
   std::uint64_t id = 0;
   std::uint64_t parent = 0;  // 0 = root
+  std::uint64_t station = 0;  // StationId of the recording node (0 = none)
   std::string name;
   SimTime start;
   SimTime end;
@@ -37,14 +38,20 @@ class Tracer {
   [[nodiscard]] static Tracer& global();
 
   // Starts a span at `at`; returns its id (0 when tracing is disabled or
-  // the buffer is full — end() on id 0 is a no-op).
-  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent, SimTime at);
+  // the buffer is full — end() on id 0 is a no-op). `station` stamps the
+  // recording node so exporters can group spans per station.
+  [[nodiscard]] std::uint64_t begin(std::string name, std::uint64_t parent, SimTime at,
+                                    std::uint64_t station = 0);
   void end(std::uint64_t id, SimTime at);
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
   [[nodiscard]] std::vector<SpanRecord> spans() const;
+  // Moves the record buffer out (O(1), no copy under the mutex) and leaves
+  // the tracer recording into a fresh buffer. Span ids keep counting up, so
+  // end() on an id drained away is a no-op, like ids from before clear().
+  [[nodiscard]] std::vector<SpanRecord> drain();
   [[nodiscard]] std::size_t span_count() const;
   [[nodiscard]] std::uint64_t dropped() const;
   void clear();

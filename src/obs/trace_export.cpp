@@ -1,0 +1,154 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "common/log.hpp"
+
+namespace wdoc::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+}
+
+void append_event_head(std::string& out, const char* ph, const std::string& name,
+                       std::uint64_t pid, std::int64_t ts) {
+  char buf[96];
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"name\":\"";
+  append_escaped(out, name);
+  // tid == pid: one timeline row per station; the simulator is single
+  // threaded, so stations are the only concurrency axis worth a track.
+  std::snprintf(buf, sizeof buf, "\",\"pid\":%llu,\"tid\":%llu,\"ts\":%lld",
+                static_cast<unsigned long long>(pid),
+                static_cast<unsigned long long>(pid), static_cast<long long>(ts));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  std::vector<SpanRecord> sorted = spans;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  std::map<std::uint64_t, const SpanRecord*> by_id;
+  std::set<std::uint64_t> stations;
+  for (const SpanRecord& s : sorted) {
+    by_id[s.id] = &s;
+    stations.insert(s.station);
+  }
+  // Ids are rebased so the first exported span is 1: the output depends
+  // only on the drained spans themselves, never on how many spans the
+  // global tracer recorded before them — identical runs export
+  // byte-identical JSON. Parents outside this batch (drained earlier)
+  // rebase to 0, i.e. root.
+  const std::uint64_t base = sorted.empty() ? 0 : sorted.front().id - 1;
+  auto rebase = [&](std::uint64_t id) -> std::uint64_t {
+    return by_id.count(id) != 0 ? id - base : 0;
+  };
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    out += first ? "\n" : ",\n";
+    first = false;
+  };
+
+  // Process metadata: name each pid row after its station.
+  for (std::uint64_t st : stations) {
+    sep();
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%llu,\"tid\":%llu,"
+                  "\"args\":{\"name\":\"station %llu\"}}",
+                  static_cast<unsigned long long>(st),
+                  static_cast<unsigned long long>(st),
+                  static_cast<unsigned long long>(st));
+    out += buf;
+  }
+
+  char buf[160];
+  for (const SpanRecord& s : sorted) {
+    sep();
+    if (s.finished) {
+      append_event_head(out, "X", s.name, s.station, s.start.as_micros());
+      std::snprintf(buf, sizeof buf,
+                    ",\"dur\":%lld,\"args\":{\"span\":%llu,\"parent\":%llu}}",
+                    static_cast<long long>((s.end - s.start).as_micros()),
+                    static_cast<unsigned long long>(s.id - base),
+                    static_cast<unsigned long long>(rebase(s.parent)));
+    } else {
+      // Explicitly an instant: the span never ended (still open at export,
+      // or its station died mid-operation) — flag it rather than faking a
+      // zero-duration completed slice.
+      append_event_head(out, "i", s.name, s.station, s.start.as_micros());
+      std::snprintf(buf, sizeof buf,
+                    ",\"s\":\"p\",\"args\":{\"span\":%llu,\"parent\":%llu,"
+                    "\"finished\":false}}",
+                    static_cast<unsigned long long>(s.id - base),
+                    static_cast<unsigned long long>(rebase(s.parent)));
+    }
+    out += buf;
+
+    // Cross-station parentage renders as a flow arrow from the parent's
+    // slice to this one (one flow id per child span).
+    auto pit = s.parent == 0 ? by_id.end() : by_id.find(s.parent);
+    if (pit != by_id.end()) {
+      const SpanRecord& p = *pit->second;
+      sep();
+      // The flow start must land inside the parent slice to bind to it, so
+      // it is stamped at the parent's own start time.
+      append_event_head(out, "s", "hop", p.station, p.start.as_micros());
+      std::snprintf(buf, sizeof buf, ",\"id\":%llu,\"cat\":\"dist\"}",
+                    static_cast<unsigned long long>(s.id - base));
+      out += buf;
+      sep();
+      append_event_head(out, "f", "hop", s.station, s.start.as_micros());
+      std::snprintf(buf, sizeof buf, ",\"id\":%llu,\"cat\":\"dist\",\"bp\":\"e\"}",
+                    static_cast<unsigned long long>(s.id - base));
+      out += buf;
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_trace_file(const std::string& path) {
+  std::string body = to_chrome_trace(Tracer::global().drain());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    WDOC_ERROR("trace: cannot open %s", path.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) WDOC_ERROR("trace: short write to %s", path.c_str());
+  return ok;
+}
+
+std::string trace_json_arg(int& argc, char** argv, bool strip) {
+  constexpr std::string_view kFlag = "--trace-json=";
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind(kFlag, 0) == 0) {
+      path = std::string(arg.substr(kFlag.size()));
+      if (strip) continue;
+    }
+    argv[out++] = argv[i];
+  }
+  if (strip) argc = out;
+  if (!path.empty()) Tracer::global().set_enabled(true);
+  return path;
+}
+
+}  // namespace wdoc::obs

@@ -1,0 +1,36 @@
+// wdoc_obs — Chrome trace-event ("Perfetto") export of Tracer spans.
+//
+// Emits the JSON object format understood by ui.perfetto.dev and
+// chrome://tracing: {"traceEvents":[...], "displayTimeUnit":"ms"}. Each
+// finished span becomes one complete event (ph "X") with pid mapped to the
+// recording station id and tid to the span's root id, so a lecture push
+// renders as one track per station with the hop chain nested under the
+// instructor's root span. Unfinished spans are exported explicitly as
+// instant events (ph "i") carrying "finished":false — never as a zero-width
+// "X" that would masquerade as an instantaneous completed span.
+//
+// Output is a pure function of the span list (sorted by id, fixed field
+// order), so a deterministic SimNetwork run exports byte-identical JSON.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace wdoc::obs {
+
+// Chrome trace-event JSON for the given spans.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+// Drains the global tracer and writes to_chrome_trace() to `path`.
+// Returns false (and logs) on I/O failure.
+bool write_trace_file(const std::string& path);
+
+// Scans argv for "--trace-json=<path>" and returns the path (empty if
+// absent), stripping the flag like metrics_json_arg does. When the flag is
+// present the global tracer is enabled as a side effect, so callers need no
+// separate set_enabled() dance.
+[[nodiscard]] std::string trace_json_arg(int& argc, char** argv, bool strip = true);
+
+}  // namespace wdoc::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace wdoc::storage {
@@ -210,10 +211,19 @@ Status TransactionManager::acquire(TxnId txn, const ResourceKey& key, TxnLockMod
     if (!waited) {
       waited = true;
       lock_wait_counter(target).inc();
+      obs::FlightRecorder::global().record(
+          obs::FlightKind::lock_wait,
+          key.table + " " + txn_lock_mode_name(target) + " blocked by holder",
+          /*station=*/0, /*actor=*/txn.value());
     }
     if (would_deadlock(txn.value(), key, target)) {
       ++deadlocks_;
       TxnMetrics::get().deadlocks.inc();
+      obs::FlightRecorder::global().record(
+          obs::FlightKind::deadlock,
+          "cycle in waits-for graph acquiring " + key.table + " " +
+              txn_lock_mode_name(target),
+          /*station=*/0, /*actor=*/txn.value());
       return {Errc::deadlock,
               "txn " + std::to_string(txn.value()) + " would deadlock on " + key.table};
     }
@@ -222,6 +232,10 @@ Status TransactionManager::acquire(TxnId txn, const ResourceKey& key, TxnLockMod
     waiting_.erase(txn.value());
     if (wait_result == std::cv_status::timeout && !grantable()) {
       TxnMetrics::get().lock_timeouts.inc();
+      obs::FlightRecorder::global().record(
+          obs::FlightKind::lock_wait,
+          key.table + " " + txn_lock_mode_name(target) + " wait timed out",
+          /*station=*/0, /*actor=*/txn.value());
       return {Errc::timeout,
               "txn " + std::to_string(txn.value()) + " lock timeout on " + key.table};
     }

@@ -1,0 +1,35 @@
+// Shared gtest main for every wdoc test binary.
+//
+// Identical to GTest::gtest_main except that a failing test dumps the
+// obs flight recorder to stderr, so the structured incident log (deadlocks,
+// lock waits, watermark replications, migrations, repairs) from the failing
+// run is part of its output. The recorder is cleared between tests so a
+// dump only shows events from the test that failed.
+#include <gtest/gtest.h>
+
+#include "obs/flight_recorder.hpp"
+
+namespace {
+
+class FlightRecorderOnFailure : public testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const testing::TestInfo&) override {
+    wdoc::obs::FlightRecorder::global().clear();
+  }
+  void OnTestEnd(const testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      std::string banner = std::string("flight recorder — ") +
+                           info.test_suite_name() + "." + info.name();
+      wdoc::obs::FlightRecorder::global().dump_to_stderr(banner.c_str());
+    }
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  testing::InitGoogleTest(&argc, argv);
+  testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightRecorderOnFailure);
+  return RUN_ALL_TESTS();
+}
