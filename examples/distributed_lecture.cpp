@@ -15,6 +15,7 @@
 #include <string>
 
 #include "dist/coordinator.hpp"
+#include "net/fault.hpp"
 #include "net/sim_network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
@@ -161,6 +162,41 @@ int main(int argc, char** argv) {
   std::printf("end-of-lecture migration: student disk %0.1f MB -> %0.1f MB "
               "(instructor keeps the persistent instance)\n",
               static_cast<double>(before) / 1e6, static_cast<double>(after) / 1e6);
+
+  // Fault drill: crash the interior station at tree position 2 and watch
+  // one of its children ride the rpc lifecycle — attempt-timeouts drive the
+  // failure detector past its threshold, the dead parent is skipped, and
+  // the pull reroutes to the grandparent (the root, ⌊(k−i−1)/m⌋+1 twice).
+  {
+    net::FaultPlan plan;
+    plan.crashes.push_back({stations[1].id, net.now() + SimTime::millis(1),
+                            SimTime::zero() /* never restarts */});
+    net.inject(plan).expect("inject");
+    net.run();
+
+    Station& orphan = stations[m + 1];  // first child of tree position 2
+    SimTime drill_start = net.now();
+    SimTime drill_done;
+    orphan.node
+        ->fetch(doc.doc_key,
+                [&](Result<dist::DocManifest> r, SimTime at) {
+                  std::move(r).expect("failover fetch");
+                  drill_done = at;
+                })
+        .expect("fetch");
+    net.run();
+    const net::RpcStats rpc = orphan.node->rpc_stats();
+    std::printf(
+        "fault drill: station %llu crashed mid-semester; its child spent "
+        "%llu attempt-timeouts (%llu retries), declared it dead after %u, "
+        "and pulled the lecture around it in %s (failovers=%llu)\n",
+        static_cast<unsigned long long>(stations[1].id.value()),
+        static_cast<unsigned long long>(rpc.attempt_timeouts),
+        static_cast<unsigned long long>(rpc.retries),
+        dist::StationConfig{}.failover_threshold,
+        (drill_done - drill_start).to_string().c_str(),
+        static_cast<unsigned long long>(orphan.node->stats().failovers));
+  }
 
   std::printf("\nmetrics (wdoc_obs process-wide registry):\n");
   std::fputs(obs::to_table(obs::MetricsRegistry::global().snapshot()).c_str(),

@@ -14,6 +14,7 @@ const char* errc_name(Errc c) {
     case Errc::timeout: return "timeout";
     case Errc::conflict: return "conflict";
     case Errc::unavailable: return "unavailable";
+    case Errc::unreachable: return "unreachable";
     case Errc::io_error: return "io_error";
     case Errc::corrupt: return "corrupt";
     case Errc::unsupported: return "unsupported";

@@ -24,6 +24,7 @@ enum class Errc {
   timeout,
   conflict,               // optimistic / state conflict (e.g. stale check-in)
   unavailable,            // station offline or object not materialized here
+  unreachable,            // no live route to the target (every resend refused)
   io_error,
   corrupt,                // failed integrity check while decoding
   unsupported,

@@ -3,6 +3,7 @@
 namespace wdoc::core {
 
 Result<std::unique_ptr<WebDocDb>> WebDocDb::create(const WebDocDbOptions& options) {
+  WDOC_TRY(options.node.validate());
   auto db = std::unique_ptr<WebDocDb>(new WebDocDb());
   if (options.data_dir.empty()) {
     db->db_ = storage::Database::in_memory();

@@ -33,8 +33,16 @@ Result<std::pair<std::uint64_t, std::vector<StationId>>> decode_vector(const Byt
 }  // namespace
 
 AdminNode::AdminNode(net::Fabric& fabric, StationId self, Coordinator& coordinator,
-                     std::uint64_t m)
-    : fabric_(&fabric), self_(self), coordinator_(&coordinator), m_(m) {}
+                     std::uint64_t m, net::RpcOptions rpc)
+    : fabric_(&fabric),
+      self_(self),
+      coordinator_(&coordinator),
+      m_(m),
+      rpc_opts_(rpc),
+      rpc_(fabric, self) {
+  Status valid = rpc_opts_.validate();
+  WDOC_CHECK(valid.is_ok(), "AdminNode RpcOptions: " + valid.message());
+}
 
 void AdminNode::bind() {
   fabric_->set_handler(self_, [this](const net::Message& msg) { on_message(msg); });
@@ -62,7 +70,22 @@ Status AdminNode::announce_vector() {
   return Status::ok();
 }
 
-Status AdminNode::scrape_cluster(ScrapeCallback cb) {
+Status AdminNode::send_scrape_req(std::uint64_t req_id) {
+  // Re-read the root on every attempt: the vector may have changed (or been
+  // re-rooted) between retries.
+  const auto& vec = coordinator_->broadcast_vector();
+  if (vec.empty()) return {Errc::unavailable, "broadcast vector is empty"};
+  net::Message msg;
+  msg.from = self_;
+  msg.to = vec.front();  // tree root: position 1 of the broadcast vector
+  msg.type = net::kMetricsRequest;
+  Writer w;
+  w.u64(req_id);
+  msg.payload = w.take();
+  return fabric_->send(std::move(msg));
+}
+
+Status AdminNode::scrape_cluster_rpc(SnapshotCallback cb) {
   const auto& vec = coordinator_->broadcast_vector();
   if (vec.empty()) {
     // Nothing has joined yet: complete immediately with an empty snapshot.
@@ -71,25 +94,36 @@ Status AdminNode::scrape_cluster(ScrapeCallback cb) {
     return Status::ok();
   }
   std::uint64_t req_id = (self_.value() << 24) | ++next_scrape_;
-  pending_scrapes_[req_id] = std::move(cb);
-  net::Message msg;
-  msg.from = self_;
-  msg.to = vec.front();  // tree root: position 1 of the broadcast vector
-  msg.type = net::kMetricsRequest;
-  Writer w;
-  w.u64(req_id);
-  msg.payload = w.take();
-  Status s = fabric_->send(std::move(msg));
-  if (!s.is_ok()) pending_scrapes_.erase(req_id);
-  return s;
+  // The root needs to hear from its whole subtree before answering, so the
+  // attempt deadline scales with the tree depth (+2: admin hop each way).
+  net::RpcOptions opts = rpc_opts_;
+  opts.deadline = rpc_opts_.deadline *
+                  static_cast<std::int64_t>(tree_depth(vec.size(), m_) + 2);
+  rpc_.track<obs::Snapshot>(
+      req_id, opts,
+      [this, cb = std::move(cb)](Result<obs::Snapshot> r, SimTime t) {
+        ++scrapes_completed_;
+        if (cb) cb(std::move(r), t);
+      },
+      [this, req_id](std::uint32_t) { return send_scrape_req(req_id); });
+  Status s = send_scrape_req(req_id);
+  if (!s.is_ok()) {
+    rpc_.cancel(req_id);
+    return s;
+  }
+  return Status::ok();
 }
 
 void AdminNode::on_scrape_rsp(const net::Message& msg) {
   Reader r(msg.payload);
   auto req_id = r.u64();
   if (!req_id) return;
-  auto it = pending_scrapes_.find(req_id.value());
-  if (it == pending_scrapes_.end()) return;
+  if (!rpc_.in_flight(req_id.value())) {
+    // Response for an already-completed scrape (a retry's extra answer):
+    // counted and ignored.
+    rpc_.note_duplicate();
+    return;
+  }
   auto snap = obs::decode_snapshot(r);
   if (!snap) {
     WDOC_ERROR("admin %llu: bad scrape response: %s",
@@ -97,10 +131,7 @@ void AdminNode::on_scrape_rsp(const net::Message& msg) {
                snap.message().c_str());
     return;
   }
-  ScrapeCallback cb = std::move(it->second);
-  pending_scrapes_.erase(it);
-  ++scrapes_completed_;
-  if (cb) cb(std::move(snap).value(), fabric_->now());
+  (void)rpc_.complete<obs::Snapshot>(req_id.value(), std::move(snap).value());
 }
 
 void AdminNode::on_message(const net::Message& msg) {

@@ -14,19 +14,25 @@
 #pragma once
 
 #include <functional>
-#include <map>
+#include <type_traits>
+#include <utility>
 
 #include "dist/coordinator.hpp"
 #include "net/fabric.hpp"
+#include "net/rpc.hpp"
 
 namespace wdoc::dist {
 
 class AdminNode {
  public:
+  // Canonical shape: Result<Snapshot> carries scrape failures (timeout when
+  // the whole tree is unreachable). The legacy (Snapshot, SimTime) shape is
+  // still accepted by the scrape_cluster template below.
+  using SnapshotCallback = StationNode::SnapshotCallback;
   using ScrapeCallback = StationNode::ScrapeCallback;
 
   AdminNode(net::Fabric& fabric, StationId self, Coordinator& coordinator,
-            std::uint64_t m = 2);
+            std::uint64_t m = 2, net::RpcOptions rpc = {});
 
   void bind();
   [[nodiscard]] StationId id() const { return self_; }
@@ -42,16 +48,35 @@ class AdminNode {
   // snapshots merge on the way back up (hierarchical aggregation along the
   // same placement equations the lecture push uses). `cb` fires here with
   // the single merged snapshot — render it with obs::to_table / to_json.
-  [[nodiscard]] Status scrape_cluster(ScrapeCallback cb);
+  //
+  // Accepts either the canonical Rpc<Snapshot> shape (Result<Snapshot>,
+  // SimTime) or the legacy (Snapshot, SimTime) shape; legacy callers see an
+  // empty snapshot on failure.
+  template <typename Cb>
+  [[nodiscard]] Status scrape_cluster(Cb&& cb) {
+    if constexpr (std::is_invocable_v<Cb&, Result<obs::Snapshot>, SimTime>) {
+      return scrape_cluster_rpc(std::forward<Cb>(cb));
+    } else {
+      return scrape_cluster_rpc(
+          [legacy = std::forward<Cb>(cb)](Result<obs::Snapshot> r, SimTime t) mutable {
+            legacy(r.is_ok() ? std::move(r).value() : obs::Snapshot{}, t);
+          });
+    }
+  }
   [[nodiscard]] std::uint64_t scrapes_completed() const { return scrapes_completed_; }
 
   [[nodiscard]] std::uint64_t joins_served() const { return joins_served_; }
+
+  // Per-request lifecycle counters (retries, timeouts, duplicates).
+  [[nodiscard]] net::RpcStats rpc_stats() const { return rpc_.stats(); }
 
   static constexpr const char* kJoinReq = "admin.join_req";
   static constexpr const char* kJoinRsp = "admin.join_rsp";
   static constexpr const char* kVector = "admin.vector";
 
  private:
+  [[nodiscard]] Status scrape_cluster_rpc(SnapshotCallback cb);
+  [[nodiscard]] Status send_scrape_req(std::uint64_t req_id);
   void on_message(const net::Message& msg);
   void on_scrape_rsp(const net::Message& msg);
   [[nodiscard]] Status send_vector_to(StationId to) const;
@@ -60,9 +85,10 @@ class AdminNode {
   StationId self_;
   Coordinator* coordinator_;
   std::uint64_t m_;
+  net::RpcOptions rpc_opts_;
+  net::RpcTracker rpc_;
   std::uint64_t joins_served_ = 0;
   std::uint64_t scrapes_completed_ = 0;
-  std::map<std::uint64_t, ScrapeCallback> pending_scrapes_;
   std::uint64_t next_scrape_ = 0;
 };
 

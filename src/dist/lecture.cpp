@@ -49,6 +49,9 @@ Result<std::size_t> LectureSession::repair() {
   const std::string& key = manifest_.doc_key;
   for (StationNode* node : audience_) {
     if (node->store().has_materialized(key)) continue;
+    // A crashed station can't pull; it will be repaired after it restarts
+    // (the next repair pass sees it online again).
+    if (!node->online()) continue;
     // Seed a reference (with the home) if the push never arrived at all, so
     // the pull has routing information even without a tree.
     if (node->store().doc(key) == nullptr) {
@@ -58,11 +61,15 @@ Result<std::size_t> LectureSession::repair() {
     // lecture is live, the student needs the physical data now.
     StationNode* target = node;
     std::string doc_key = key;
-    WDOC_TRY(node->fetch(key, [target, doc_key](Result<DocManifest> r, SimTime) {
-      if (r.is_ok()) {
-        (void)target->store().materialize(doc_key, /*ephemeral=*/true);
-      }
-    }));
+    Status pulled =
+        node->fetch(key, [target, doc_key](Result<DocManifest> r, SimTime) {
+          if (r.is_ok()) {
+            (void)target->store().materialize(doc_key, /*ephemeral=*/true);
+          }
+        });
+    // Unroutable right now (e.g. its whole ancestor chain is suspected
+    // dead): skip this round, the next repair pass retries.
+    if (!pulled.is_ok()) continue;
     ++issued;
   }
   repairs_issued_ += issued;

@@ -16,6 +16,20 @@ std::vector<std::uint64_t> children_of(std::uint64_t n, std::uint64_t m, std::ui
   return out;
 }
 
+std::uint64_t subtree_height(std::uint64_t k, std::uint64_t m, std::uint64_t N) {
+  WDOC_CHECK(k >= 1 && m >= 1, "subtree_height: bad arguments");
+  // Breadth-first filling means the leftmost descendant chain of k is the
+  // deepest one present: follow first children until we fall off the tree.
+  std::uint64_t height = 0;
+  for (std::uint64_t pos = k;;) {
+    std::uint64_t c = child_position(pos, 1, m);
+    if (c > N) break;
+    pos = c;
+    ++height;
+  }
+  return height;
+}
+
 std::uint64_t depth_of(std::uint64_t k, std::uint64_t m) {
   WDOC_CHECK(k >= 1 && m >= 1, "depth_of: bad arguments");
   std::uint64_t depth = 0;

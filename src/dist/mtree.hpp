@@ -36,6 +36,24 @@ namespace wdoc::dist {
   return (k - i - 1) / m + 1;
 }
 
+// Failover attachment point (tree repair under station death): when the
+// parent of position k is declared dead, the orphan reattaches to its
+// grandparent — the paper's parent equation ⌊(k−i−1)/m⌋+1 applied twice
+// (clamped at the root). Applied repeatedly, a chain of dead ancestors
+// resolves to the nearest live one; StationNode::live_parent_station walks
+// exactly this chain.
+[[nodiscard]] constexpr std::uint64_t grandparent_position(std::uint64_t k,
+                                                           std::uint64_t m) {
+  std::uint64_t p = k <= 1 ? 1 : parent_position(k, m);
+  return p <= 1 ? 1 : parent_position(p, m);
+}
+
+// Height of the subtree rooted at position k in a breadth-first-filled
+// m-ary tree of N stations (0 for a leaf). Used to scale hierarchical
+// merge deadlines by how far below k the slowest answer can originate.
+[[nodiscard]] std::uint64_t subtree_height(std::uint64_t k, std::uint64_t m,
+                                           std::uint64_t N);
+
 // All existing children of position n given N stations.
 [[nodiscard]] std::vector<std::uint64_t> children_of(std::uint64_t n, std::uint64_t m,
                                                      std::uint64_t N);

@@ -20,15 +20,19 @@ struct DistMetrics {
   obs::Counter& migrations;
   obs::Counter& failed_fetches;
   obs::Counter& blob_serves;
+  obs::Counter& failovers;
+  obs::Counter& resurrections;
+  obs::Counter& scrape_partials;
 
   static DistMetrics& get() {
     static DistMetrics* m = [] {
       auto& reg = obs::MetricsRegistry::global();
       return new DistMetrics{
-          reg.counter("dist.pushes"),       reg.counter("dist.pulls"),
-          reg.counter("dist.serves"),       reg.counter("dist.replications"),
-          reg.counter("dist.migrations"),   reg.counter("dist.failed_fetches"),
-          reg.counter("dist.blob_serves"),
+          reg.counter("dist.pushes"),         reg.counter("dist.pulls"),
+          reg.counter("dist.serves"),         reg.counter("dist.replications"),
+          reg.counter("dist.migrations"),     reg.counter("dist.failed_fetches"),
+          reg.counter("dist.blob_serves"),    reg.counter("dist.failovers"),
+          reg.counter("dist.resurrections"),  reg.counter("dist.scrape_partials"),
       };
     }();
     return *m;
@@ -107,11 +111,40 @@ struct FetchRsp {
   }
 };
 
+// fetch_err payload: req_id, doc_key, terminal errc from the serving side.
+struct FetchErr {
+  std::uint64_t req_id = 0;
+  std::string doc_key;
+  Errc code = Errc::not_found;
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.u64(req_id);
+    w.str(doc_key);
+    w.u32(static_cast<std::uint32_t>(code));
+    return w.take();
+  }
+  [[nodiscard]] static Result<FetchErr> decode(const Bytes& b) {
+    Reader r(b);
+    FetchErr out;
+    auto id = r.u64();
+    auto key = r.str();
+    if (!id || !key) return Error{Errc::corrupt, "bad fetch err"};
+    out.req_id = id.value();
+    out.doc_key = std::move(key).value();
+    // Older peers omit the code; default stands.
+    auto code = r.u32();
+    if (code) out.code = static_cast<Errc>(code.value());
+    return out;
+  }
+};
+
 struct BlobReq {
   std::uint64_t req_id = 0;
   std::string doc_key;
   Digest128 digest;
   std::uint64_t size = 0;
+  blob::MediaType type = blob::MediaType::other;
 
   [[nodiscard]] Bytes encode() const {
     Writer w;
@@ -120,6 +153,7 @@ struct BlobReq {
     w.u64(digest.lo);
     w.u64(digest.hi);
     w.u64(size);
+    w.u8(static_cast<std::uint8_t>(type));
     return w.take();
   }
   [[nodiscard]] static Result<BlobReq> decode(const Bytes& b) {
@@ -136,15 +170,75 @@ struct BlobReq {
     if (!lo || !hi || !size) return Error{Errc::corrupt, "bad blob req"};
     out.digest = Digest128{lo.value(), hi.value()};
     out.size = size.value();
+    auto type = r.u8();
+    if (type) out.type = static_cast<blob::MediaType>(type.value());
+    return out;
+  }
+};
+
+// blob_rsp payload echoes the served ref, so the requester can register the
+// payload without keeping per-request state of its own.
+struct BlobRsp {
+  std::uint64_t req_id = 0;
+  BlobRef blob;
+
+  [[nodiscard]] Bytes encode() const {
+    Writer w;
+    w.u64(req_id);
+    w.u64(blob.digest.lo);
+    w.u64(blob.digest.hi);
+    w.u64(blob.size);
+    w.u8(static_cast<std::uint8_t>(blob.type));
+    return w.take();
+  }
+  [[nodiscard]] static Result<BlobRsp> decode(const Bytes& b) {
+    Reader r(b);
+    BlobRsp out;
+    auto id = r.u64();
+    auto lo = r.u64();
+    auto hi = r.u64();
+    auto size = r.u64();
+    auto type = r.u8();
+    if (!id || !lo || !hi || !size || !type) return Error{Errc::corrupt, "bad blob rsp"};
+    out.req_id = id.value();
+    out.blob.digest = Digest128{lo.value(), hi.value()};
+    out.blob.size = size.value();
+    out.blob.type = static_cast<blob::MediaType>(type.value());
     return out;
   }
 };
 
 }  // namespace
 
+Status StationConfig::validate() const {
+  if (watermark == 0) {
+    return {Errc::invalid_argument,
+            "watermark must be >= 1 (use a large value to disable replication)"};
+  }
+  WDOC_TRY(rpc.validate());
+  if (failover_threshold == 0) {
+    return {Errc::invalid_argument, "failover_threshold must be >= 1"};
+  }
+  if (min_bandwidth_bps <= 0.0) {
+    return {Errc::invalid_argument, "min_bandwidth_bps must be > 0"};
+  }
+  return Status::ok();
+}
+
 StationNode::StationNode(net::Fabric& fabric, StationId self, ObjectStore& store,
-                         NodeConfig config)
-    : fabric_(&fabric), self_(self), store_(&store), config_(config) {}
+                         StationConfig config)
+    : fabric_(&fabric),
+      self_(self),
+      store_(&store),
+      config_(config),
+      rpc_(fabric, self, config.rpc_seed) {
+  Status valid = config_.validate();
+  WDOC_CHECK(valid.is_ok(), "StationConfig: " + valid.message());
+  rpc_.set_timeout_observer([this](std::uint64_t req_id, std::uint32_t) {
+    auto it = rpc_target_.find(req_id);
+    if (it != rpc_target_.end()) note_attempt_timeout(it->second);
+  });
+}
 
 void StationNode::bind() {
   fabric_->set_handler(self_, [this](const net::Message& msg) { on_message(msg); });
@@ -168,6 +262,63 @@ std::optional<StationId> StationNode::parent_station() const {
   std::uint64_t p = parent_position(position_, m_);
   return broadcast_vector_[p - 1];
 }
+
+std::optional<StationId> StationNode::live_parent_station() const {
+  if (position_ <= 1) return std::nullopt;
+  // Walk the ancestor chain, skipping declared-dead stations: the paper's
+  // parent equation applied repeatedly (grandparent_position and beyond).
+  for (std::uint64_t pos : ancestry(position_, m_)) {
+    if (pos == position_) continue;
+    StationId s = broadcast_vector_[pos - 1];
+    if (!dead_.contains(s)) return s;
+  }
+  return std::nullopt;
+}
+
+// --- failure detector --------------------------------------------------------
+
+void StationNode::note_attempt_timeout(StationId target) {
+  if (dead_.contains(target)) return;
+  std::uint32_t n = ++suspect_[target];
+  if (n >= config_.failover_threshold) declare_dead(target);
+}
+
+void StationNode::declare_dead(StationId target) {
+  suspect_.erase(target);
+  if (!dead_.insert(target).second) return;
+  ++stats_.failovers;
+  DistMetrics::get().failovers.inc();
+  obs::FlightRecorder::global().record(
+      obs::FlightKind::failover,
+      "station " + std::to_string(target.value()) + " declared dead after " +
+          std::to_string(config_.failover_threshold) + " consecutive timeouts",
+      self_.value(), target.value(), fabric_->now());
+  if (parent_station() == target) {
+    // Orphaned: announce the reparent route that live_parent_station()
+    // will now resolve to (⌊(k−i−1)/m⌋+1 applied past the dead parent).
+    auto next = live_parent_station();
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::failover,
+        "position " + std::to_string(position_) + " reparented to " +
+            (next ? "station " + std::to_string(next->value())
+                  : std::string("nothing: ancestor chain dead")),
+        self_.value(), target.value(), fabric_->now());
+  }
+}
+
+void StationNode::note_alive(StationId from) {
+  suspect_.erase(from);
+  if (dead_.erase(from) > 0) {
+    ++stats_.resurrections;
+    DistMetrics::get().resurrections.inc();
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::failover,
+        "station " + std::to_string(from.value()) + " heard from again: resurrected",
+        self_.value(), from.value(), fabric_->now());
+  }
+}
+
+// --- push --------------------------------------------------------------------
 
 Status StationNode::send_push(StationId to, const DocManifest& manifest,
                               std::uint64_t trace_parent) {
@@ -202,6 +353,9 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
 }
 
 void StationNode::on_message(const net::Message& msg) {
+  // Any traffic from a station is proof of life: clear its suspicion and
+  // resurrect it if it was declared dead (crash + restart, healed link).
+  note_alive(msg.from);
   if (msg.type == kPush) {
     on_push(msg);
   } else if (msg.type == kRefAnnounce) {
@@ -297,32 +451,24 @@ void StationNode::on_ref_announce(const net::Message& msg) {
   }
 }
 
-Status StationNode::fetch(const std::string& doc_key, FetchCallback cb) {
-  const StoredDoc* d = store_->doc(doc_key);
-  if (d != nullptr && d->form != ObjectForm::reference) {
-    ++stats_.fetches_local;
-    cb(d->manifest, fabric_->now());
-    return Status::ok();
-  }
-  ++stats_.fetches_remote;
-  DistMetrics::get().pulls.inc();
+// --- pull --------------------------------------------------------------------
 
-  // Destination: parent in the tree; with no tree configured, go straight
-  // to the document's home station (requires a local reference).
-  std::optional<StationId> target = parent_station();
+Status StationNode::send_fetch_req(std::uint64_t req_id, const std::string& doc_key) {
+  // Route per attempt: parent chain skipping declared-dead ancestors. When
+  // the whole ancestry is suspected dead, probe the direct parent anyway —
+  // suspicion is not certainty, and any reply resurrects it. With no tree
+  // at all, go straight to the document's home.
+  std::optional<StationId> target = live_parent_station();
+  if (!target) target = parent_station();
   if (!target) {
+    const StoredDoc* d = store_->doc(doc_key);
     if (d != nullptr && d->manifest.home.valid() && d->manifest.home != self_) {
       target = d->manifest.home;
     } else {
-      ++stats_.failed_fetches;
-      DistMetrics::get().failed_fetches.inc();
       return {Errc::unavailable, "no parent and no home reference for " + doc_key};
     }
   }
-
-  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
-  pending_fetches_[req_id] = std::move(cb);
-
+  rpc_target_[req_id] = *target;
   FetchReq req;
   req.req_id = req_id;
   req.doc_key = doc_key;
@@ -332,9 +478,53 @@ Status StationNode::fetch(const std::string& doc_key, FetchCallback cb) {
   msg.to = *target;
   msg.type = kFetchReq;
   msg.payload = req.encode();
-  Status s = fabric_->send(std::move(msg));
-  if (!s.is_ok()) pending_fetches_.erase(req_id);
-  return s;
+  return fabric_->send(std::move(msg));
+}
+
+Status StationNode::fetch(const std::string& doc_key, FetchCallback cb,
+                          std::optional<net::RpcOptions> options) {
+  const StoredDoc* d = store_->doc(doc_key);
+  if (d != nullptr && d->form != ObjectForm::reference) {
+    ++stats_.fetches_local;
+    cb(d->manifest, fabric_->now());
+    return Status::ok();
+  }
+  ++stats_.fetches_remote;
+  DistMetrics::get().pulls.inc();
+
+  net::RpcOptions opts = options.value_or(config_.rpc);
+  if (d != nullptr) {
+    // A local reference knows the document's size: give each attempt room
+    // for the transfer itself on the slowest link this cluster models,
+    // just as fetch_blob does.
+    opts.deadline += SimTime::seconds(
+        static_cast<double>(d->manifest.total_bytes()) * 8.0 / config_.min_bandwidth_bps);
+  }
+  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  std::string key = doc_key;
+  rpc_.track<DocManifest>(
+      req_id, opts,
+      [this, req_id, cb = std::move(cb)](Result<DocManifest> r, SimTime t) {
+        rpc_target_.erase(req_id);
+        if (!r.is_ok()) {
+          ++stats_.failed_fetches;
+          DistMetrics::get().failed_fetches.inc();
+        }
+        cb(std::move(r), t);
+      },
+      [this, req_id, key](std::uint32_t) { return send_fetch_req(req_id, key); });
+  Status s = send_fetch_req(req_id, doc_key);
+  if (!s.is_ok()) {
+    // Never left the station: unwind the tracker and report synchronously,
+    // preserving the historical "no route" contract.
+    rpc_.cancel(req_id);
+    rpc_target_.erase(req_id);
+    --stats_.fetches_remote;
+    ++stats_.failed_fetches;
+    DistMetrics::get().failed_fetches.inc();
+    return s;
+  }
+  return Status::ok();
 }
 
 void StationNode::on_fetch_req(const net::Message& msg) {
@@ -363,18 +553,22 @@ void StationNode::on_fetch_req(const net::Message& msg) {
     return;
   }
 
-  // Not here: forward up the chain.
-  std::optional<StationId> up = parent_station();
+  // Not here: forward up the live chain (or probe the direct parent when
+  // the whole ancestry is suspected dead — only a true root gives up).
+  std::optional<StationId> up = live_parent_station();
+  if (!up) up = parent_station();
   if (!up) {
-    // Root without the document: report failure back to the originator.
+    // Root (or an effective root with its ancestry dead) without the
+    // document: report failure back to the originator.
+    FetchErr err;
+    err.req_id = q.req_id;
+    err.doc_key = q.doc_key;
+    err.code = Errc::not_found;
     net::Message out;
     out.from = self_;
     out.to = q.path.front();
     out.type = kFetchErr;
-    Writer w;
-    w.u64(q.req_id);
-    w.str(q.doc_key);
-    out.payload = w.take();
+    out.payload = err.encode();
     (void)fabric_->send(std::move(out));
     return;
   }
@@ -394,7 +588,11 @@ void StationNode::on_fetch_rsp(const net::Message& msg) {
   FetchRsp& r = rsp.value();
 
   if (r.path.empty()) {
-    // Final delivery to the originator.
+    // Final delivery to the originator. The store bookkeeping happens
+    // regardless of rpc state: a response that arrives after its request
+    // already resolved (a retry raced the original answer, or the attempt
+    // budget ran out while the data was in flight) still carries the
+    // document — wasting it would only force another full transfer.
     const std::string& key = r.manifest.doc_key;
     const StoredDoc* d = store_->doc(key);
     if (d == nullptr) {
@@ -416,7 +614,12 @@ void StationNode::on_fetch_rsp(const net::Message& msg) {
             self_.value(), 0, fabric_->now());
       }
     }
-    complete_fetch(r.req_id, r.manifest);
+    // The callback fires exactly once: a duplicate is counted and ignored.
+    if (!rpc_.in_flight(r.req_id)) {
+      rpc_.note_duplicate();
+      return;
+    }
+    (void)rpc_.complete<DocManifest>(r.req_id, r.manifest);
     return;
   }
 
@@ -442,49 +645,66 @@ void StationNode::on_fetch_rsp(const net::Message& msg) {
 }
 
 void StationNode::on_fetch_err(const net::Message& msg) {
-  Reader r(msg.payload);
-  auto req_id = r.u64();
-  if (!req_id) return;
-  auto key = r.str();
-  ++stats_.failed_fetches;
-  DistMetrics::get().failed_fetches.inc();
-  complete_fetch(req_id.value(),
-                 Error{Errc::not_found,
-                       "document not found in tree: " + (key ? key.value() : "?")});
+  auto err = FetchErr::decode(msg.payload);
+  if (!err) return;
+  rpc_.fail(err.value().req_id,
+            Error{err.value().code,
+                  "document not found in tree: " + err.value().doc_key});
 }
 
-void StationNode::complete_fetch(std::uint64_t req_id, Result<DocManifest> result) {
-  auto it = pending_fetches_.find(req_id);
-  if (it == pending_fetches_.end()) return;
-  FetchCallback cb = std::move(it->second);
-  pending_fetches_.erase(it);
-  cb(std::move(result), fabric_->now());
-}
+// --- blobs -------------------------------------------------------------------
 
-Status StationNode::fetch_blob(StationId holder, const std::string& doc_key,
-                               const BlobRef& blob, BlobCallback cb) {
-  // Already resident (e.g. a previous fetch or a pushed lecture): no wire
-  // traffic needed.
-  if (store_->blobs().find(blob.digest).has_value()) {
-    ++stats_.fetches_local;
-    cb(Status::ok(), fabric_->now());
-    return Status::ok();
-  }
-  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
-  pending_blobs_[req_id] = PendingBlob{blob, std::move(cb)};
+Status StationNode::send_blob_req(std::uint64_t req_id, StationId holder,
+                                  const std::string& doc_key, const BlobRef& blob) {
+  rpc_target_[req_id] = holder;
   BlobReq req;
   req.req_id = req_id;
   req.doc_key = doc_key;
   req.digest = blob.digest;
   req.size = blob.size;
+  req.type = blob.type;
   net::Message msg;
   msg.from = self_;
   msg.to = holder;
   msg.type = kBlobReq;
   msg.payload = req.encode();
-  Status s = fabric_->send(std::move(msg));
-  if (!s.is_ok()) pending_blobs_.erase(req_id);
-  return s;
+  return fabric_->send(std::move(msg));
+}
+
+Status StationNode::fetch_blob_rpc(StationId holder, const std::string& doc_key,
+                                   const BlobRef& blob, BlobFetchCallback cb,
+                                   std::optional<net::RpcOptions> options) {
+  // Already resident (e.g. a previous fetch or a pushed lecture): no wire
+  // traffic needed.
+  if (store_->blobs().find(blob.digest).has_value()) {
+    ++stats_.fetches_local;
+    cb(blob, fabric_->now());
+    return Status::ok();
+  }
+  net::RpcOptions opts = options.value_or(config_.rpc);
+  // The payload serializes on both endpoints' links; give each attempt room
+  // for the transfer itself on the slowest link this cluster models.
+  opts.deadline += SimTime::seconds(static_cast<double>(blob.size) * 8.0 /
+                                    config_.min_bandwidth_bps);
+  std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  std::string key = doc_key;
+  BlobRef want = blob;
+  rpc_.track<BlobRef>(
+      req_id, opts,
+      [this, req_id, cb = std::move(cb)](Result<BlobRef> r, SimTime t) {
+        rpc_target_.erase(req_id);
+        cb(std::move(r), t);
+      },
+      [this, req_id, holder, key, want](std::uint32_t) {
+        return send_blob_req(req_id, holder, key, want);
+      });
+  Status s = send_blob_req(req_id, holder, doc_key, blob);
+  if (!s.is_ok()) {
+    rpc_.cancel(req_id);
+    rpc_target_.erase(req_id);
+    return s;
+  }
+  return Status::ok();
 }
 
 void StationNode::on_blob_req(const net::Message& msg) {
@@ -492,33 +712,36 @@ void StationNode::on_blob_req(const net::Message& msg) {
   if (!req) return;
   ++stats_.blob_serves;
   DistMetrics::get().blob_serves.inc();
+  BlobRsp rsp;
+  rsp.req_id = req.value().req_id;
+  rsp.blob.digest = req.value().digest;
+  rsp.blob.size = req.value().size;
+  rsp.blob.type = req.value().type;
   net::Message out;
   out.from = self_;
   out.to = msg.from;
   out.type = kBlobRsp;
-  Writer w;
-  w.u64(req.value().req_id);
-  out.payload = w.take();
+  out.payload = rsp.encode();
   out.wire_size = req.value().size;  // payload bytes charged on the wire
   (void)fabric_->send(std::move(out));
 }
 
 void StationNode::on_blob_rsp(const net::Message& msg) {
-  Reader r(msg.payload);
-  auto req_id = r.u64();
-  if (!req_id) return;
-  auto it = pending_blobs_.find(req_id.value());
-  if (it == pending_blobs_.end()) return;
-  PendingBlob pending = std::move(it->second);
-  pending_blobs_.erase(it);
+  auto rsp = BlobRsp::decode(msg.payload);
+  if (!rsp) return;
+  const BlobRsp& r = rsp.value();
+  if (!rpc_.in_flight(r.req_id)) {
+    // A retried request's extra response: counted and ignored.
+    rpc_.note_duplicate();
+    return;
+  }
   // The payload now lives locally (ephemeral buffer: zero refs, reclaimable
   // by gc until a document instance claims it).
-  auto id = store_->blobs().put_synthetic(pending.blob.digest, pending.blob.size,
-                                          pending.blob.type);
+  auto id = store_->blobs().put_synthetic(r.blob.digest, r.blob.size, r.blob.type);
   if (id) {
     (void)store_->blobs().release(id.value());
   }
-  pending.cb(Status::ok(), fabric_->now());
+  (void)rpc_.complete<BlobRef>(r.req_id, r.blob);
 }
 
 std::uint64_t StationNode::end_lecture() {
@@ -566,9 +789,11 @@ obs::Snapshot StationNode::local_snapshot() const {
     s.value = static_cast<double>(v);
     snap.samples.push_back(std::move(s));
   };
+  const net::RpcStats rpc = rpc_.stats();
   counter("station.blob_serves", stats_.blob_serves);
   counter("station.demotions", stats_.demotions);
   counter("station.failed_fetches", stats_.failed_fetches);
+  counter("station.failovers", stats_.failovers);
   counter("station.fetches_local", stats_.fetches_local);
   counter("station.fetches_remote", stats_.fetches_remote);
   counter("station.forwards_up", stats_.forwards_up);
@@ -576,6 +801,10 @@ obs::Snapshot StationNode::local_snapshot() const {
   counter("station.pushes_received", stats_.pushes_received);
   counter("station.relays", stats_.relays);
   counter("station.replications", stats_.replications);
+  counter("station.resurrections", stats_.resurrections);
+  counter("station.rpc_exhausted", rpc.exhausted);
+  counter("station.rpc_retries", rpc.retries);
+  counter("station.rpc_timeouts", rpc.attempt_timeouts);
   counter("station.serves", stats_.serves);
   gauge("station.disk_bytes", store_->disk_bytes());
   gauge("station.docs", store_->doc_count());
@@ -586,34 +815,51 @@ obs::Snapshot StationNode::local_snapshot() const {
   return snap;
 }
 
-Status StationNode::scrape_tree(ScrapeCallback cb) {
+Status StationNode::scrape_tree_rpc(SnapshotCallback cb) {
   std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
   return start_scrape(req_id, std::nullopt, std::move(cb));
 }
 
+Status StationNode::send_scrape_rsp(StationId to, std::uint64_t req_id,
+                                    const obs::Snapshot& snap) {
+  net::Message out;
+  out.from = self_;
+  out.to = to;
+  out.type = net::kMetricsResponse;
+  Writer w;
+  w.u64(req_id);
+  obs::encode_snapshot(w, snap);
+  out.payload = w.take();
+  return fabric_->send(std::move(out));
+}
+
 Status StationNode::start_scrape(std::uint64_t req_id,
                                  std::optional<StationId> reply_to,
-                                 ScrapeCallback cb) {
-  // Duplicate request for an in-flight scrape: stations can be covered
-  // twice when tree views are momentarily inconsistent (a missed
-  // admin.vector update). Answer with just the local snapshot — fanning
-  // out again would clobber the in-flight merge and orphan its requester.
-  if (pending_scrapes_.contains(req_id)) {
+                                 SnapshotCallback cb) {
+  // Duplicate request for an in-flight merge — a retried scrape, or a
+  // station covered twice while tree views are momentarily inconsistent.
+  // Register the requester as an extra waiter: the merge in flight answers
+  // everyone when it completes. Fanning out again would clobber it.
+  auto in_flight = pending_scrapes_.find(req_id);
+  if (in_flight != pending_scrapes_.end()) {
     if (reply_to) {
-      net::Message out;
-      out.from = self_;
-      out.to = *reply_to;
-      out.type = net::kMetricsResponse;
-      Writer w;
-      w.u64(req_id);
-      obs::encode_snapshot(w, local_snapshot());
-      out.payload = w.take();
-      return fabric_->send(std::move(out));
+      auto& waiters = in_flight->second.reply_to;
+      if (std::find(waiters.begin(), waiters.end(), *reply_to) == waiters.end()) {
+        waiters.push_back(*reply_to);
+      }
     }
     return Status::ok();
   }
+  // A retry that crossed the completed merge's response on the wire: answer
+  // from the cache instead of re-running the whole subtree fan-out.
+  for (const auto& [done_id, snap] : recent_merges_) {
+    if (done_id == req_id) {
+      return reply_to ? send_scrape_rsp(*reply_to, req_id, snap) : Status::ok();
+    }
+  }
+
   PendingScrape pending;
-  pending.reply_to = reply_to;
+  if (reply_to) pending.reply_to.push_back(*reply_to);
   pending.cb = std::move(cb);
   pending.acc = local_snapshot();
 
@@ -624,6 +870,16 @@ Status StationNode::start_scrape(std::uint64_t req_id,
     }
   }
   pending.outstanding = targets.size();
+  if (!targets.empty()) {
+    // A dead subtree must not hang the merge (and everything above it)
+    // forever: after a deadline scaled by how deep below us the slowest
+    // answer can originate, deliver what has arrived.
+    std::uint64_t height =
+        position_ == 0 ? 1 : subtree_height(position_, m_, broadcast_vector_.size());
+    pending.timer =
+        fabric_->schedule_on(self_, config_.rpc.deadline * static_cast<std::int64_t>(height + 1),
+                             [this, req_id] { on_scrape_deadline(req_id); });
+  }
   pending_scrapes_[req_id] = std::move(pending);
 
   for (StationId child : targets) {
@@ -660,7 +916,12 @@ void StationNode::on_scrape_rsp(const net::Message& msg) {
   auto req_id = r.u64();
   if (!req_id) return;
   auto it = pending_scrapes_.find(req_id.value());
-  if (it == pending_scrapes_.end()) return;
+  if (it == pending_scrapes_.end()) {
+    // Merge already completed (deadline fired, or a duplicate child
+    // answer): counted and ignored.
+    rpc_.note_duplicate();
+    return;
+  }
   auto child_snap = obs::decode_snapshot(r);
   if (!child_snap) {
     WDOC_WARN("station %llu: bad scrape response from %llu: %s",
@@ -674,21 +935,30 @@ void StationNode::on_scrape_rsp(const net::Message& msg) {
   finish_scrape_if_done(req_id.value());
 }
 
+void StationNode::on_scrape_deadline(std::uint64_t req_id) {
+  auto it = pending_scrapes_.find(req_id);
+  if (it == pending_scrapes_.end()) return;
+  DistMetrics::get().scrape_partials.inc();
+  obs::FlightRecorder::global().record(
+      obs::FlightKind::scrape,
+      "scrape merge timed out with " + std::to_string(it->second.outstanding) +
+          " child subtree(s) missing: delivering partial merge",
+      self_.value(), req_id, fabric_->now());
+  it->second.outstanding = 0;
+  finish_scrape_if_done(req_id);
+}
+
 void StationNode::finish_scrape_if_done(std::uint64_t req_id) {
   auto it = pending_scrapes_.find(req_id);
   if (it == pending_scrapes_.end() || it->second.outstanding != 0) return;
   PendingScrape done = std::move(it->second);
   pending_scrapes_.erase(it);
-  if (done.reply_to) {
-    net::Message out;
-    out.from = self_;
-    out.to = *done.reply_to;
-    out.type = net::kMetricsResponse;
-    Writer w;
-    w.u64(req_id);
-    obs::encode_snapshot(w, done.acc);
-    out.payload = w.take();
-    (void)fabric_->send(std::move(out));
+  if (done.timer) done.timer->store(true);
+  // Keep the merge around briefly for retries that crossed it on the wire.
+  recent_merges_.emplace_back(req_id, done.acc);
+  if (recent_merges_.size() > kRecentMerges) recent_merges_.pop_front();
+  for (StationId waiter : done.reply_to) {
+    (void)send_scrape_rsp(waiter, req_id, done.acc);
   }
   if (done.cb) {
     obs::FlightRecorder::global().record(

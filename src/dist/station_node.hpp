@@ -14,28 +14,64 @@
 //     document references");
 //   * blob-level fetches for on-demand streaming (experiment E3).
 //
+// Every remote operation runs through the unified rpc lifecycle layer
+// (net/rpc.hpp): per-request deadlines, capped exponential backoff with
+// seeded jitter, and terminal error delivery — no callback is ever silently
+// dropped. Consecutive attempt timeouts against one peer feed a failure
+// detector: after StationConfig::failover_threshold of them the peer is
+// declared dead, and routing falls back to the nearest live ancestor — the
+// paper's placement equation ⌊(k−i−1)/m⌋+1 applied repeatedly (see
+// grandparent_position in mtree.hpp). Any message later received from a
+// declared-dead station resurrects it.
+//
 // The node is transport-agnostic: it runs identically over SimNetwork and
 // ThreadTransport (Fabric).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <set>
+#include <type_traits>
 
 #include "dist/mtree.hpp"
 #include "dist/object_store.hpp"
 #include "net/fabric.hpp"
+#include "net/rpc.hpp"
 #include "obs/scrape.hpp"
 
 namespace wdoc::dist {
 
-struct NodeConfig {
+// All of a station's protocol knobs in one validated place: replication
+// behavior plus the rpc lifecycle every remote operation runs under.
+struct StationConfig {
   // Remote retrievals of one document before it is replicated locally.
   // 1 replicates on first fetch; a very large value disables replication.
+  // Zero is rejected by validate() — it would mean "replicate before the
+  // first retrieval", which no code path can honor.
   std::uint64_t watermark = 4;
   // If true, intermediate stations relaying a pull response also keep an
   // ephemeral copy (ablation of the paper's "only reviewers duplicate").
   bool relay_cache = false;
+  // Deadline / retry / backoff defaults for every rpc this node issues;
+  // individual calls may override via their RpcOptions parameter.
+  net::RpcOptions rpc;
+  // Consecutive attempt timeouts against one peer before it is declared
+  // dead and routing reparents around it.
+  std::uint32_t failover_threshold = 3;
+  // Floor on the assumed transfer rate when scaling a blob fetch's deadline
+  // by payload size (a 25 MB blob legitimately serializes for ~40 s on a
+  // 10 Mb/s campus link; a flat deadline would retransmit mid-transfer).
+  double min_bandwidth_bps = 1e6;
+  // Seed for the rpc tracker's deterministic backoff jitter.
+  std::uint64_t rpc_seed = 0x77d0c;
+
+  [[nodiscard]] Status validate() const;
 };
+
+// Deprecated alias (kept one release): the old name before the rpc knobs
+// were merged in. Remove once callers migrate.
+using NodeConfig = StationConfig;
 
 struct NodeStats {
   std::uint64_t pushes_received = 0;
@@ -49,16 +85,27 @@ struct NodeStats {
   std::uint64_t demotions = 0;        // instances migrated back to references
   std::uint64_t blob_serves = 0;
   std::uint64_t failed_fetches = 0;
+  std::uint64_t failovers = 0;        // peers this node declared dead
+  std::uint64_t resurrections = 0;    // declared-dead peers heard from again
 };
 
 class StationNode {
  public:
-  using FetchCallback = std::function<void(Result<DocManifest>, SimTime)>;
+  // Canonical completion shape for every remote operation: (Result<T>,
+  // completion time). See net/rpc.hpp.
+  using FetchCallback = net::Rpc<DocManifest>;
+  using BlobFetchCallback = net::Rpc<BlobRef>;
+  using SnapshotCallback = net::Rpc<obs::Snapshot>;
+
+  // Deprecated legacy shapes (kept one release): fetch_blob and scrape_tree
+  // accept these via their template entry points and adapt. BlobCallback
+  // loses the distinction between payload variants (it only sees Status);
+  // ScrapeCallback receives an empty snapshot on terminal failure.
   using BlobCallback = std::function<void(Status, SimTime)>;
   using ScrapeCallback = std::function<void(obs::Snapshot, SimTime)>;
 
   StationNode(net::Fabric& fabric, StationId self, ObjectStore& store,
-              NodeConfig config = {});
+              StationConfig config = {});
 
   // Installs this node's message handler on the fabric.
   void bind();
@@ -71,7 +118,18 @@ class StationNode {
   // order) and the tree fan-out m. The node derives its own position.
   void set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m);
   [[nodiscard]] std::uint64_t position() const { return position_; }
+  // Static tree parent from the placement equation — ignores liveness.
   [[nodiscard]] std::optional<StationId> parent_station() const;
+  // Failover route: the nearest ancestor not declared dead (grandparent,
+  // great-grandparent, ... when parents have failed). nullopt at the root
+  // or when the whole ancestor chain is declared dead.
+  [[nodiscard]] std::optional<StationId> live_parent_station() const;
+
+  // --- failure detector ----------------------------------------------------
+  [[nodiscard]] bool is_declared_dead(StationId s) const { return dead_.contains(s); }
+  [[nodiscard]] const std::set<StationId>& dead_stations() const { return dead_; }
+  // This station's own fabric-level liveness (false while crashed).
+  [[nodiscard]] bool online() const { return fabric_->is_online(self_); }
 
   // --- instructor side ------------------------------------------------------
   // Root of a multicast: stores a persistent instance (if not already held)
@@ -85,15 +143,38 @@ class StationNode {
 
   // --- student side --------------------------------------------------------
   // Resolves a document: local hit completes synchronously; otherwise the
-  // request travels up the parent chain (or straight to `home` when no tree
-  // is configured) and the callback fires on response.
-  [[nodiscard]] Status fetch(const std::string& doc_key, FetchCallback cb);
+  // request travels up the live parent chain (or straight to `home` when no
+  // tree is configured) and `cb` fires exactly once — with the manifest, or
+  // with a terminal error (Errc::timeout / Errc::unreachable / the remote
+  // Errc) once the retry budget is spent.
+  [[nodiscard]] Status fetch(const std::string& doc_key, FetchCallback cb,
+                             std::optional<net::RpcOptions> options = std::nullopt);
+
   // Fetches one BLOB's payload from `holder` (charged at blob size). On
   // completion the payload is registered in the local BlobStore, so a
   // repeat fetch of the same content completes locally without network
-  // traffic.
+  // traffic. Accepts the canonical Rpc<BlobRef> shape or the deprecated
+  // (Status, SimTime) shape.
+  template <typename Cb>
   [[nodiscard]] Status fetch_blob(StationId holder, const std::string& doc_key,
-                                  const BlobRef& blob, BlobCallback cb);
+                                  const BlobRef& blob, Cb&& cb,
+                                  std::optional<net::RpcOptions> options = std::nullopt) {
+    if constexpr (std::is_invocable_v<Cb&, Result<BlobRef>, SimTime>) {
+      return fetch_blob_rpc(holder, doc_key, blob,
+                            BlobFetchCallback(std::forward<Cb>(cb)), options);
+    } else {
+      BlobCallback legacy(std::forward<Cb>(cb));
+      return fetch_blob_rpc(
+          holder, doc_key, blob,
+          [legacy = std::move(legacy)](Result<BlobRef> r, SimTime t) {
+            legacy(r.status(), t);
+          },
+          options);
+    }
+  }
+  [[nodiscard]] Status fetch_blob_rpc(StationId holder, const std::string& doc_key,
+                                      const BlobRef& blob, BlobFetchCallback cb,
+                                      std::optional<net::RpcOptions> options = std::nullopt);
 
   // Post-lecture migration: every ephemeral instance demotes to a
   // reference; returns reclaimable bytes (after the BlobStore gc).
@@ -109,13 +190,31 @@ class StationNode {
   // into its own station-labeled snapshot on the way back up, and `cb`
   // fires once here with the subtree-wide merge. Called on the tree root
   // (directly or via AdminNode::scrape_cluster) this yields the whole
-  // cluster in one snapshot.
-  [[nodiscard]] Status scrape_tree(ScrapeCallback cb);
+  // cluster in one snapshot. A merge waiting on a dead subtree completes
+  // partially after a height-scaled deadline instead of hanging. Accepts
+  // the canonical Rpc<obs::Snapshot> shape or the deprecated
+  // (obs::Snapshot, SimTime) shape.
+  template <typename Cb>
+  [[nodiscard]] Status scrape_tree(Cb&& cb) {
+    if constexpr (std::is_invocable_v<Cb&, Result<obs::Snapshot>, SimTime>) {
+      return scrape_tree_rpc(SnapshotCallback(std::forward<Cb>(cb)));
+    } else {
+      ScrapeCallback legacy(std::forward<Cb>(cb));
+      return scrape_tree_rpc(
+          [legacy = std::move(legacy)](Result<obs::Snapshot> r, SimTime t) {
+            legacy(r.is_ok() ? std::move(r).value() : obs::Snapshot{}, t);
+          });
+    }
+  }
+  [[nodiscard]] Status scrape_tree_rpc(SnapshotCallback cb);
 
   [[nodiscard]] ObjectStore& store() { return *store_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  [[nodiscard]] net::RpcStats rpc_stats() const { return rpc_.stats(); }
+  // Requests still awaiting a response or retry (0 once the fabric drains).
+  [[nodiscard]] std::size_t pending_rpcs() const { return rpc_.pending(); }
   [[nodiscard]] StationId id() const { return self_; }
-  [[nodiscard]] const NodeConfig& config() const { return config_; }
+  [[nodiscard]] const StationConfig& config() const { return config_; }
   void set_watermark(std::uint64_t w) { config_.watermark = w; }
 
   // Message type tags (public for tests).
@@ -139,42 +238,64 @@ class StationNode {
   void on_scrape_req(const net::Message& msg);
   void on_scrape_rsp(const net::Message& msg);
 
-  void complete_fetch(std::uint64_t req_id, Result<DocManifest> result);
+  // One (re)send of an in-flight pull: recomputes the route each attempt,
+  // so retries travel the repaired chain after a reparent.
+  [[nodiscard]] Status send_fetch_req(std::uint64_t req_id, const std::string& doc_key);
+  [[nodiscard]] Status send_blob_req(std::uint64_t req_id, StationId holder,
+                                     const std::string& doc_key, const BlobRef& blob);
   [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest,
                                  std::uint64_t trace_parent = 0);
+
+  // Failure detector: consecutive attempt timeouts per routed-to peer.
+  void note_attempt_timeout(StationId target);
+  void declare_dead(StationId target);
+  void note_alive(StationId from);
+
   // Starts pending-scrape state for `req_id` and fans the request to this
   // node's tree children; completes immediately at a leaf.
   [[nodiscard]] Status start_scrape(std::uint64_t req_id,
                                     std::optional<StationId> reply_to,
-                                    ScrapeCallback cb);
+                                    SnapshotCallback cb);
   void finish_scrape_if_done(std::uint64_t req_id);
+  void on_scrape_deadline(std::uint64_t req_id);
+  [[nodiscard]] Status send_scrape_rsp(StationId to, std::uint64_t req_id,
+                                       const obs::Snapshot& snap);
 
   net::Fabric* fabric_;
   StationId self_;
   ObjectStore* store_;
-  NodeConfig config_;
+  StationConfig config_;
   NodeStats stats_;
+  net::RpcTracker rpc_;
 
   std::vector<StationId> broadcast_vector_;
   std::uint64_t m_ = 2;
   std::uint64_t position_ = 0;  // 1-based; 0 = not in tree
 
-  std::map<std::uint64_t, FetchCallback> pending_fetches_;
-  struct PendingBlob {
-    BlobRef blob;
-    BlobCallback cb;
-  };
-  std::map<std::uint64_t, PendingBlob> pending_blobs_;
-  // Hierarchical scrape in flight: children yet to answer, the merged
-  // snapshot so far, and where the final merge goes (up the tree, or a
-  // local callback at the initiator).
+  // Failure detector state: consecutive timeouts per peer, peers declared
+  // dead, and the peer each in-flight rpc last routed to.
+  std::map<StationId, std::uint32_t> suspect_;
+  std::set<StationId> dead_;
+  std::map<std::uint64_t, StationId> rpc_target_;
+
+  // Hierarchical scrape in flight: requesters waiting on the merge (a retry
+  // of an in-flight req_id registers as an extra waiter, never a second
+  // fan-out), children yet to answer, the merged snapshot so far, and the
+  // merge's own deadline.
   struct PendingScrape {
-    std::optional<StationId> reply_to;
-    ScrapeCallback cb;
+    std::vector<StationId> reply_to;
+    SnapshotCallback cb;
     std::size_t outstanding = 0;
     obs::Snapshot acc;
+    net::Fabric::TimerHandle timer;
   };
   std::map<std::uint64_t, PendingScrape> pending_scrapes_;
+  // Bounded cache of recently-completed merges, so a retry that crossed the
+  // original response on the wire gets the cached answer instead of
+  // triggering a whole new subtree fan-out.
+  std::deque<std::pair<std::uint64_t, obs::Snapshot>> recent_merges_;
+  static constexpr std::size_t kRecentMerges = 8;
+
   std::uint64_t next_req_ = 0;
 };
 

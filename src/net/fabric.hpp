@@ -6,10 +6,13 @@
 // to show the same protocol code off the simulator).
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 
 #include "common/result.hpp"
 #include "common/sim_time.hpp"
+#include "net/fault.hpp"
 #include "net/message.hpp"
 
 namespace wdoc::net {
@@ -18,6 +21,12 @@ using MessageHandler = std::function<void(const Message&)>;
 
 class Fabric {
  public:
+  // Cancellable timer: store(true) guarantees the callback never runs after
+  // the store is observed. SimNetwork additionally skips cancelled events
+  // without advancing simulated time, so abandoned deadlines leave no trace
+  // on the clock.
+  using TimerHandle = std::shared_ptr<std::atomic<bool>>;
+
   virtual ~Fabric() = default;
 
   // Asynchronous send; delivery invokes the receiver's handler. Returns an
@@ -29,6 +38,27 @@ class Fabric {
   // Current time: simulated for SimNetwork, wall-clock-since-start for
   // ThreadTransport.
   [[nodiscard]] virtual SimTime now() const = 0;
+
+  // Runs `fn` after `delta` in `station`'s execution context — the shared
+  // event loop for SimNetwork, the station's worker thread for
+  // ThreadTransport (so timer callbacks never race the message handler).
+  // The RpcTracker's deadlines and backoff timers run through this.
+  [[nodiscard]] virtual TimerHandle schedule_on(StationId station, SimTime delta,
+                                                std::function<void()> fn) = 0;
+
+  // Liveness as the fabric itself knows it (crashed / offline stations).
+  // Protocol-level failure detection (StationNode's declared-dead set) is
+  // layered on top of this, not derived from it.
+  [[nodiscard]] virtual bool is_online(StationId station) const {
+    (void)station;
+    return true;
+  }
+
+  // Installs a scripted fault plan. Fabrics without a fault model refuse.
+  [[nodiscard]] virtual Status inject(const FaultPlan& plan) {
+    (void)plan;
+    return {Errc::unsupported, "fault injection not supported on this fabric"};
+  }
 };
 
 }  // namespace wdoc::net

@@ -1,0 +1,36 @@
+#include "net/fault.hpp"
+
+namespace wdoc::net {
+
+Status FaultPlan::validate() const {
+  for (const LossBurst& f : loss_bursts) {
+    if (!f.station.valid()) return {Errc::invalid_argument, "loss burst: invalid station"};
+    if (f.rate < 0.0 || f.rate > 1.0) {
+      return {Errc::invalid_argument, "loss burst: rate must be in [0, 1]"};
+    }
+    if (f.until <= f.at) return {Errc::invalid_argument, "loss burst: until <= at"};
+  }
+  for (const DelaySpike& f : delay_spikes) {
+    if (!f.station.valid()) return {Errc::invalid_argument, "delay spike: invalid station"};
+    if (f.extra < SimTime::zero()) {
+      return {Errc::invalid_argument, "delay spike: negative extra delay"};
+    }
+    if (f.until <= f.at) return {Errc::invalid_argument, "delay spike: until <= at"};
+  }
+  for (const Partition& f : partitions) {
+    if (f.island.empty()) return {Errc::invalid_argument, "partition: empty island"};
+    for (StationId s : f.island) {
+      if (!s.valid()) return {Errc::invalid_argument, "partition: invalid station"};
+    }
+    if (f.until <= f.at) return {Errc::invalid_argument, "partition: until <= at"};
+  }
+  for (const Crash& f : crashes) {
+    if (!f.station.valid()) return {Errc::invalid_argument, "crash: invalid station"};
+    if (f.restart_at != SimTime::zero() && f.restart_at <= f.at) {
+      return {Errc::invalid_argument, "crash: restart_at <= at"};
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace wdoc::net

@@ -1,0 +1,77 @@
+// FaultPlan: scripted fault injection for the network fabric.
+//
+// The distribution protocol's robustness claims (retries, tree failover,
+// lecture repair) are only testable against faults that go beyond the
+// steady-state `loss_rate`/`jitter_max` of a StationLink: bursts of loss on
+// one link, delay spikes, symmetric partitions, and whole-station
+// crash/restart. A FaultPlan describes such a script declaratively; the
+// fabric (SimNetwork) schedules the transitions on its own event queue, so
+// a faulty run is exactly as deterministic as a healthy one.
+//
+// All times are absolute fabric times; every fault must be scheduled in the
+// future relative to the injection call. Faults compose: a message crossing
+// an active partition is dropped outright, otherwise each endpoint's
+// injected loss is drawn on top of its link's steady-state loss, and
+// injected delay adds to propagation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/result.hpp"
+#include "common/sim_time.hpp"
+
+namespace wdoc::net {
+
+// Extra per-message drop probability on both of `station`'s link directions
+// during [at, until).
+struct LossBurst {
+  StationId station;
+  double rate = 0.0;
+  SimTime at;
+  SimTime until;
+};
+
+// Extra one-way propagation delay charged to every message `station` sends
+// or receives during [at, until).
+struct DelaySpike {
+  StationId station;
+  SimTime extra;
+  SimTime at;
+  SimTime until;
+};
+
+// Symmetric partition: during [at, until) no message crosses between the
+// island and the rest of the network, in either direction. Traffic within
+// the island (and within the remainder) flows normally.
+struct Partition {
+  std::vector<StationId> island;
+  SimTime at;
+  SimTime until;
+};
+
+// Station crash at `at`; restart at `restart_at`, or never when zero. A
+// crashed station drops everything addressed to it and sends nothing — its
+// protocol state survives (the process did not lose its disk), which is
+// what makes restart + anti-entropy repair meaningful.
+struct Crash {
+  StationId station;
+  SimTime at;
+  SimTime restart_at = SimTime::zero();
+};
+
+struct FaultPlan {
+  std::vector<LossBurst> loss_bursts;
+  std::vector<DelaySpike> delay_spikes;
+  std::vector<Partition> partitions;
+  std::vector<Crash> crashes;
+
+  [[nodiscard]] bool empty() const {
+    return loss_bursts.empty() && delay_spikes.empty() && partitions.empty() &&
+           crashes.empty();
+  }
+  [[nodiscard]] Status validate() const;
+};
+
+}  // namespace wdoc::net

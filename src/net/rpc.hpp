@@ -1,0 +1,170 @@
+// Unified RPC lifecycle layer (tentpole of the fault-tolerance redesign).
+//
+// Every remote request in the distribution protocol used to live in its own
+// ad-hoc std::map<req_id, callback> with no expiry — a single dropped
+// message stranded the callback forever, and a duplicate response invoked a
+// moved-from function. RpcTracker replaces those maps with one owner of the
+// whole request lifecycle:
+//
+//   track() ──▶ in flight ──response──▶ complete()   cb(Result<T>, latency)
+//                  │ deadline expires
+//                  ▼
+//              attempt timeout ──retries left──▶ backoff ──▶ resend ──▶ in flight
+//                  │ budget exhausted                │ resend refused
+//                  ▼                                 ▼
+//        terminal Errc::timeout            terminal Errc::unreachable
+//
+// Guarantees:
+//   * the completion callback fires exactly once with a Result<T>: never
+//     silently dropped, never twice — late or duplicate responses are
+//     counted and ignored;
+//   * retry delays follow capped exponential backoff with deterministic,
+//     seeded jitter, so same-seed simulator runs stay byte-identical;
+//   * every attempt timeout is surfaced to a TimeoutObserver — that is the
+//     failure-detector input StationNode uses to declare a parent dead and
+//     reparent its subtree via the paper's placement equation.
+//
+// Thread-safety: all public entry points lock an internal mutex; user
+// callbacks and the resend function are always invoked outside the lock,
+// so a completion may immediately issue (and track) a follow-up rpc.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <typeinfo>
+
+#include "common/rng.hpp"
+#include "net/fabric.hpp"
+
+namespace wdoc::net {
+
+// The one canonical completion shape every remote operation resolves to:
+// the outcome and the fabric time it resolved at.
+template <typename T>
+using Rpc = std::function<void(Result<T>, SimTime)>;
+
+// Capped exponential backoff between retry attempts. The k-th retry waits
+// initial * multiplier^(k-1), capped, then spread by +/- jitter fraction
+// drawn from the tracker's seeded Rng.
+struct BackoffPolicy {
+  SimTime initial = SimTime::millis(250);
+  double multiplier = 2.0;
+  SimTime cap = SimTime::seconds(4);
+  double jitter = 0.25;  // fraction of the delay, in [0, 1]
+
+  [[nodiscard]] SimTime delay(std::uint32_t retry, Rng& rng) const;
+  [[nodiscard]] Status validate() const;
+};
+
+// Per-request lifecycle knobs. The default deadline is deliberately
+// generous: large documents legitimately serialize for tens of seconds on
+// campus links, and a premature timeout means a wasted full retransmission.
+// Callers moving small payloads (scrapes, manifests on fast links) pass a
+// tighter deadline instead.
+struct RpcOptions {
+  SimTime deadline = SimTime::seconds(60);  // per attempt, not end-to-end
+  std::uint32_t max_retries = 3;            // attempts = 1 + max_retries
+  BackoffPolicy backoff;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct RpcStats {
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;         // resolved with a response
+  std::uint64_t retries = 0;           // resend attempts issued
+  std::uint64_t attempt_timeouts = 0;  // per-attempt deadline expiries
+  std::uint64_t exhausted = 0;         // terminal failures delivered
+  std::uint64_t duplicates = 0;        // responses for already-resolved reqs
+};
+
+class RpcTracker {
+ public:
+  // Re-issues the request for attempt `attempt` (1-based retry count). The
+  // target is recomputed per call, so retries re-route around stations
+  // declared dead since the previous attempt. A returned error means "no
+  // route at all" and terminates the rpc with Errc::unreachable.
+  using ResendFn = std::function<Status(std::uint32_t attempt)>;
+  // Notified on every attempt timeout, before the retry (if any) is
+  // scheduled. Input to protocol-level failure detection.
+  using TimeoutObserver = std::function<void(std::uint64_t req_id, std::uint32_t attempt)>;
+
+  RpcTracker(Fabric& fabric, StationId self, std::uint64_t seed = 0x77d0c);
+  ~RpcTracker();
+  RpcTracker(const RpcTracker&) = delete;
+  RpcTracker& operator=(const RpcTracker&) = delete;
+
+  void set_timeout_observer(TimeoutObserver observer);
+
+  // Registers an in-flight request. `done` fires exactly once: either via
+  // complete()/fail(), or with a terminal error when the retry budget runs
+  // out. The caller sends the first attempt itself (so a synchronous send
+  // failure can cancel() before any timer fires).
+  template <typename T>
+  void track(std::uint64_t req_id, const RpcOptions& opts, Rpc<T> done, ResendFn resend) {
+    auto cb = std::make_shared<Rpc<T>>(std::move(done));
+    track_erased(req_id, opts, std::move(resend), cb, &typeid(T),
+                 [cb](Error e, SimTime t) { (*cb)(Result<T>(std::move(e)), t); });
+  }
+
+  // Resolves `req_id` with a response. Returns false (and counts a
+  // duplicate) when the request already resolved or was never tracked.
+  template <typename T>
+  [[nodiscard]] bool complete(std::uint64_t req_id, Result<T> result) {
+    std::shared_ptr<void> done = finish(req_id, &typeid(T));
+    if (done == nullptr) return false;
+    (*std::static_pointer_cast<Rpc<T>>(done))(std::move(result), fabric_->now());
+    return true;
+  }
+
+  // Resolves `req_id` with a terminal error (e.g. a fetch_err from the
+  // tree root). Counts a duplicate if already resolved.
+  void fail(std::uint64_t req_id, Error e);
+
+  // Drops the request without invoking its callback — only for unwinding a
+  // failed synchronous first send, where the caller reports the error.
+  void cancel(std::uint64_t req_id);
+
+  // Counts a response that arrived for a request this tracker no longer
+  // knows — for protocol handlers that detect the duplicate before
+  // attempting completion.
+  void note_duplicate();
+
+  [[nodiscard]] bool in_flight(std::uint64_t req_id) const;
+  [[nodiscard]] std::size_t pending() const;
+  [[nodiscard]] RpcStats stats() const;
+
+ private:
+  using FailFn = std::function<void(Error, SimTime)>;
+
+  struct Entry {
+    RpcOptions opts;
+    ResendFn resend;
+    std::shared_ptr<void> done;     // Rpc<T>, type-erased
+    const std::type_info* tag = nullptr;
+    FailFn on_fail;                 // wraps `done` for terminal errors
+    std::uint32_t attempt = 0;      // retries performed so far
+    std::uint64_t epoch = 0;        // guards against stale timer firings
+    SimTime started;
+    Fabric::TimerHandle timer;
+  };
+
+  void track_erased(std::uint64_t req_id, const RpcOptions& opts, ResendFn resend,
+                    std::shared_ptr<void> done, const std::type_info* tag, FailFn on_fail);
+  [[nodiscard]] std::shared_ptr<void> finish(std::uint64_t req_id, const std::type_info* tag);
+  void on_deadline(std::uint64_t req_id, std::uint64_t epoch);
+  void on_retry(std::uint64_t req_id, std::uint64_t epoch);
+  void deliver_terminal(std::uint64_t req_id, Entry taken, Error e);
+
+  Fabric* fabric_;
+  StationId self_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+  Rng rng_;
+  RpcStats stats_;
+  TimeoutObserver on_timeout_;
+};
+
+}  // namespace wdoc::net

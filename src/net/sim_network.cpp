@@ -1,5 +1,7 @@
 #include "net/sim_network.hpp"
 
+#include "obs/flight_recorder.hpp"
+
 namespace wdoc::net {
 
 SimNetwork::Instruments SimNetwork::Instruments::make() {
@@ -7,7 +9,8 @@ SimNetwork::Instruments SimNetwork::Instruments::make() {
   return Instruments{
       reg.counter("net.messages_sent"),    reg.counter("net.messages_received"),
       reg.counter("net.messages_dropped"), reg.counter("net.bytes_sent"),
-      reg.counter("net.bytes_received"),   reg.gauge("net.queue_depth"),
+      reg.counter("net.bytes_received"),   reg.counter("net.faults_injected"),
+      reg.counter("net.fault_drops"),      reg.gauge("net.queue_depth"),
       reg.histogram("net.delivery_latency", {{"unit", "us"}}),
   };
 }
@@ -44,6 +47,11 @@ Status SimNetwork::set_online(StationId id, bool online) {
   if (it == stations_.end()) return {Errc::not_found, "no such station"};
   it->second.online = online;
   return Status::ok();
+}
+
+bool SimNetwork::is_online(StationId id) const {
+  auto it = stations_.find(id);
+  return it != stations_.end() && it->second.online;
 }
 
 Status SimNetwork::set_pair_latency(StationId a, StationId b, SimTime latency) {
@@ -85,6 +93,35 @@ Status SimNetwork::send(Message msg) {
     return Status::ok();  // silently lost, like the real thing
   }
 
+  // Injected faults. Checks (and any extra rng draws) happen only while a
+  // fault window is open, so healthy runs consume the identical draw
+  // sequence with or without a plan installed.
+  if (!fault_group_.empty() || !fault_loss_.empty()) {
+    bool killed = false;
+    if (!fault_group_.empty()) {
+      auto ga = fault_group_.find(msg.from);
+      auto gb = fault_group_.find(msg.to);
+      std::uint64_t gfrom = ga == fault_group_.end() ? 0 : ga->second;
+      std::uint64_t gto = gb == fault_group_.end() ? 0 : gb->second;
+      killed = gfrom != gto;  // symmetric partition: no crossing either way
+    }
+    if (!killed && !fault_loss_.empty()) {
+      for (StationId endpoint : {msg.from, msg.to}) {
+        auto it = fault_loss_.find(endpoint);
+        if (it != fault_loss_.end() && rng_.bernoulli(it->second)) {
+          killed = true;
+          break;
+        }
+      }
+    }
+    if (killed) {
+      from.stats.messages_dropped++;
+      obs_.messages_dropped.inc();
+      obs_.fault_drops.inc();
+      return Status::ok();
+    }
+  }
+
   // Uplink serialization (FIFO behind this sender's earlier messages).
   SimTime depart = std::max(now_, from.up_busy_until) + transfer_time(size, from.link.up_bps);
   from.up_busy_until = depart;
@@ -101,6 +138,12 @@ Status SimNetwork::send(Message msg) {
     if (link->jitter_max > SimTime::zero()) {
       propagation += SimTime::micros(static_cast<std::int64_t>(
           rng_.uniform(static_cast<std::uint64_t>(link->jitter_max.as_micros()) + 1)));
+    }
+  }
+  if (!fault_delay_.empty()) {
+    for (StationId endpoint : {msg.from, msg.to}) {
+      auto it = fault_delay_.find(endpoint);
+      if (it != fault_delay_.end()) propagation += it->second;
     }
   }
   SimTime arrive = depart + propagation;
@@ -126,7 +169,7 @@ Status SimNetwork::send(Message msg) {
 
 void SimNetwork::schedule_at(SimTime at, std::function<void()> fn) {
   WDOC_CHECK(at >= now_, "schedule_at in the past");
-  events_.push(Event{at, ++event_seq_, std::move(fn)});
+  events_.push(Event{at, ++event_seq_, std::move(fn), nullptr});
   obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
 }
 
@@ -134,16 +177,38 @@ void SimNetwork::schedule_after(SimTime delta, std::function<void()> fn) {
   schedule_at(now_ + delta, std::move(fn));
 }
 
-bool SimNetwork::step() {
-  if (events_.empty()) return false;
-  // priority_queue::top returns const&; move via const_cast is the standard
-  // idiom for move-only payloads, but copying the function is fine here.
-  Event ev = events_.top();
-  events_.pop();
+Fabric::TimerHandle SimNetwork::schedule_on(StationId station, SimTime delta,
+                                            std::function<void()> fn) {
+  // One shared event loop: `station` only selects an execution context on
+  // the threaded fabric. The handle lets callers (RpcTracker) abandon
+  // deadlines that resolved early.
+  (void)station;
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  events_.push(Event{now_ + delta, ++event_seq_, std::move(fn), cancel});
   obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
-  now_ = ev.at;
-  ev.fn();
-  return true;
+  return cancel;
+}
+
+bool SimNetwork::step() {
+  while (!events_.empty()) {
+    // Cancelled timers are discarded without running and without advancing
+    // now_: an abandoned rpc deadline must not stretch the clock benches
+    // read after run().
+    if (events_.top().cancel && events_.top().cancel->load()) {
+      events_.pop();
+      obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+      continue;
+    }
+    // priority_queue::top returns const&; move via const_cast is the standard
+    // idiom for move-only payloads, but copying the function is fine here.
+    Event ev = events_.top();
+    events_.pop();
+    obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+    now_ = ev.at;
+    ev.fn();
+    return true;
+  }
+  return false;
 }
 
 std::size_t SimNetwork::run() {
@@ -154,12 +219,100 @@ std::size_t SimNetwork::run() {
 
 std::size_t SimNetwork::run_until(SimTime t) {
   std::size_t n = 0;
-  while (!events_.empty() && events_.top().at <= t) {
+  for (;;) {
+    while (!events_.empty() && events_.top().cancel && events_.top().cancel->load()) {
+      events_.pop();
+      obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+    }
+    if (events_.empty() || events_.top().at > t) break;
     step();
     ++n;
   }
   if (now_ < t) now_ = t;
   return n;
+}
+
+// --- fault injection ---------------------------------------------------------
+
+void SimNetwork::record_fault(const std::string& detail, StationId station) {
+  obs_.faults_injected.inc();
+  obs::FlightRecorder::global().record(obs::FlightKind::fault, detail,
+                                       station.value(), 0, now_);
+}
+
+Status SimNetwork::inject(const FaultPlan& plan) {
+  WDOC_TRY(plan.validate());
+  auto known = [this](StationId s) { return stations_.contains(s); };
+  for (const LossBurst& f : plan.loss_bursts) {
+    if (!known(f.station)) return {Errc::not_found, "loss burst: unknown station"};
+    if (f.at < now_) return {Errc::invalid_argument, "loss burst scheduled in the past"};
+  }
+  for (const DelaySpike& f : plan.delay_spikes) {
+    if (!known(f.station)) return {Errc::not_found, "delay spike: unknown station"};
+    if (f.at < now_) return {Errc::invalid_argument, "delay spike scheduled in the past"};
+  }
+  for (const Partition& f : plan.partitions) {
+    for (StationId s : f.island) {
+      if (!known(s)) return {Errc::not_found, "partition: unknown station"};
+    }
+    if (f.at < now_) return {Errc::invalid_argument, "partition scheduled in the past"};
+  }
+  for (const Crash& f : plan.crashes) {
+    if (!known(f.station)) return {Errc::not_found, "crash: unknown station"};
+    if (f.at < now_) return {Errc::invalid_argument, "crash scheduled in the past"};
+  }
+
+  for (const LossBurst& f : plan.loss_bursts) {
+    schedule_at(f.at, [this, f] {
+      fault_loss_[f.station] = f.rate;
+      record_fault("loss burst " + std::to_string(f.rate) + " until t=" +
+                       f.until.to_string(),
+                   f.station);
+    });
+    schedule_at(f.until, [this, f] {
+      fault_loss_.erase(f.station);
+      record_fault("loss burst cleared", f.station);
+    });
+  }
+  for (const DelaySpike& f : plan.delay_spikes) {
+    schedule_at(f.at, [this, f] {
+      fault_delay_[f.station] = f.extra;
+      record_fault("delay spike +" + f.extra.to_string(), f.station);
+    });
+    schedule_at(f.until, [this, f] {
+      fault_delay_.erase(f.station);
+      record_fault("delay spike cleared", f.station);
+    });
+  }
+  for (const Partition& f : plan.partitions) {
+    const std::uint64_t group = ++next_fault_group_;
+    schedule_at(f.at, [this, f, group] {
+      for (StationId s : f.island) fault_group_[s] = group;
+      record_fault("partition: island of " + std::to_string(f.island.size()) +
+                       " station(s) isolated",
+                   f.island.front());
+    });
+    schedule_at(f.until, [this, f, group] {
+      for (StationId s : f.island) {
+        auto it = fault_group_.find(s);
+        if (it != fault_group_.end() && it->second == group) fault_group_.erase(it);
+      }
+      record_fault("partition healed", f.island.front());
+    });
+  }
+  for (const Crash& f : plan.crashes) {
+    schedule_at(f.at, [this, f] {
+      (void)set_online(f.station, false);
+      record_fault("station crash", f.station);
+    });
+    if (f.restart_at != SimTime::zero()) {
+      schedule_at(f.restart_at, [this, f] {
+        (void)set_online(f.station, true);
+        record_fault("station restart", f.station);
+      });
+    }
+  }
+  return Status::ok();
 }
 
 const StationStats& SimNetwork::stats(StationId id) const {

@@ -51,6 +51,8 @@ class SimNetwork final : public Fabric {
     obs::Counter& messages_dropped;
     obs::Counter& bytes_sent;
     obs::Counter& bytes_received;
+    obs::Counter& faults_injected;  // fault transitions activated
+    obs::Counter& fault_drops;      // messages killed by an active fault
     obs::Gauge& queue_depth;
     obs::Histogram& delivery_latency_us;
     [[nodiscard]] static Instruments make();
@@ -66,6 +68,7 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] Status set_link(StationId id, const StationLink& link);
   [[nodiscard]] Result<StationLink> link_of(StationId id) const;
   [[nodiscard]] Status set_online(StationId id, bool online);
+  [[nodiscard]] bool is_online(StationId id) const override;
   // Overrides the end-to-end propagation latency for one station pair
   // (symmetric), replacing the sum of the two per-station latencies — e.g.
   // two stations on the same LAN vs an overseas partner university.
@@ -78,6 +81,17 @@ class SimNetwork final : public Fabric {
   // Schedule arbitrary simulation work (timers, lecture playout deadlines).
   void schedule_at(SimTime at, std::function<void()> fn);
   void schedule_after(SimTime delta, std::function<void()> fn);
+  // Cancellable timer (Fabric interface): a cancelled event is skipped
+  // without running and — crucially for benches that read now() after
+  // run() — without advancing simulated time.
+  [[nodiscard]] TimerHandle schedule_on(StationId station, SimTime delta,
+                                        std::function<void()> fn) override;
+
+  // --- fault injection ----------------------------------------------------
+  // Schedules every transition of `plan` on the event queue. Faulty runs
+  // consume extra rng draws only while a loss burst is active, so a plan
+  // whose window never opens leaves the simulation byte-identical.
+  [[nodiscard]] Status inject(const FaultPlan& plan) override;
 
   // --- execution --------------------------------------------------------
   // Runs one event; false when the queue is empty.
@@ -107,6 +121,7 @@ class SimNetwork final : public Fabric {
     SimTime at;
     std::uint64_t seq;
     std::function<void()> fn;
+    TimerHandle cancel;  // null for ordinary events
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -116,9 +131,17 @@ class SimNetwork final : public Fabric {
   };
 
   [[nodiscard]] static SimTime transfer_time(std::uint64_t bytes, double bps);
+  void record_fault(const std::string& detail, StationId station);
 
   std::map<StationId, Station> stations_;
   std::map<std::pair<StationId, StationId>, SimTime> pair_latency_;
+  // Active fault state, keyed by station. Partition groups: stations in the
+  // same group (or both ungrouped, group 0) can talk; across groups they
+  // cannot.
+  std::map<StationId, double> fault_loss_;
+  std::map<StationId, SimTime> fault_delay_;
+  std::map<StationId, std::uint64_t> fault_group_;
+  std::uint64_t next_fault_group_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> events_;
   IdAllocator<StationId> station_ids_;
   SimTime now_ = SimTime::zero();

@@ -40,7 +40,7 @@ Status ThreadTransport::send(Message msg) {
   c_bytes_sent_.inc(msg.charged_size());
   {
     std::lock_guard<std::mutex> bg(box->mu);
-    box->queue.push_back(Queued{std::move(msg), now()});
+    box->queue.push_back(Queued{std::move(msg), now(), nullptr});
   }
   box->cv.notify_one();
   return Status::ok();
@@ -51,6 +51,68 @@ SimTime ThreadTransport::now() const {
                 std::chrono::steady_clock::now() - start_)
                 .count();
   return SimTime::micros(us);
+}
+
+Fabric::TimerHandle ThreadTransport::schedule_on(StationId station, SimTime delta,
+                                                 std::function<void()> fn) {
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  {
+    std::lock_guard<std::mutex> g(timer_mu_);
+    if (!timer_thread_.joinable()) {
+      timer_thread_ = std::thread([this] { timer_loop(); });
+    }
+    timers_.push(Timer{std::chrono::steady_clock::now() +
+                           std::chrono::microseconds(delta.as_micros()),
+                       station, std::move(fn), cancel, ++timer_seq_});
+  }
+  timer_cv_.notify_one();
+  return cancel;
+}
+
+bool ThreadTransport::is_online(StationId station) const {
+  std::lock_guard<std::mutex> g(mu_);
+  return stations_.contains(station);
+}
+
+void ThreadTransport::timer_loop() {
+  std::unique_lock<std::mutex> g(timer_mu_);
+  while (running_.load()) {
+    if (timers_.empty()) {
+      timer_cv_.wait(g, [&] { return !running_.load() || !timers_.empty(); });
+      continue;
+    }
+    auto due = timers_.top().due;
+    if (std::chrono::steady_clock::now() < due) {
+      timer_cv_.wait_until(g, due);  // re-check: earlier timer or shutdown
+      continue;
+    }
+    Timer t = timers_.top();
+    timers_.pop();
+    g.unlock();
+    if (!t.cancel->load()) {
+      // Route through the station's mailbox so the callback runs on its
+      // worker thread; the cancel flag is re-checked at execution time.
+      Mailbox* box = nullptr;
+      {
+        std::lock_guard<std::mutex> sg(mu_);
+        auto it = stations_.find(t.station);
+        if (it != stations_.end()) box = it->second.get();
+      }
+      if (box != nullptr) {
+        Queued item;
+        item.enqueued_at = now();
+        item.task = [fn = std::move(t.fn), cancel = t.cancel] {
+          if (!cancel->load()) fn();
+        };
+        {
+          std::lock_guard<std::mutex> bg(box->mu);
+          box->queue.push_back(std::move(item));
+        }
+        box->cv.notify_one();
+      }
+    }
+    g.lock();
+  }
 }
 
 void ThreadTransport::worker_loop(Mailbox* box) {
@@ -65,6 +127,17 @@ void ThreadTransport::worker_loop(Mailbox* box) {
       box->queue.pop_front();
       handler = box->handler;
       box->busy = true;
+    }
+    if (item.task) {
+      // Due timer dispatched to this station: same thread as the handler,
+      // no delivery accounting.
+      item.task();
+      {
+        std::lock_guard<std::mutex> g(box->mu);
+        box->busy = false;
+      }
+      box->cv.notify_all();
+      continue;
     }
     const Message& msg = item.msg;
     c_received_.inc();
@@ -103,6 +176,15 @@ bool ThreadTransport::quiesce(std::chrono::milliseconds timeout) {
 void ThreadTransport::shutdown() {
   bool was_running = running_.exchange(false);
   if (!was_running) return;
+  // Stop the timer thread first: pending timers are dropped, so no task can
+  // land in a mailbox after the workers drain.
+  std::thread timer;
+  {
+    std::lock_guard<std::mutex> g(timer_mu_);
+    timer_cv_.notify_all();
+    timer.swap(timer_thread_);
+  }
+  if (timer.joinable()) timer.join();
   std::lock_guard<std::mutex> g(mu_);
   for (auto& [_, box] : stations_) {
     box->cv.notify_all();

@@ -10,7 +10,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <thread>
+#include <vector>
 
 #include "net/fabric.hpp"
 #include "obs/metrics.hpp"
@@ -31,6 +33,13 @@ class ThreadTransport final : public Fabric {
   [[nodiscard]] Status send(Message msg) override;
   [[nodiscard]] SimTime now() const override;
 
+  // Timer callbacks are dispatched through the target station's mailbox, so
+  // they run on the same worker thread as its message handler and never
+  // race protocol state. The timer thread starts lazily on first use.
+  [[nodiscard]] TimerHandle schedule_on(StationId station, SimTime delta,
+                                        std::function<void()> fn) override;
+  [[nodiscard]] bool is_online(StationId station) const override;
+
   // Blocks until every mailbox is empty and every worker idle (bounded by
   // `timeout`). Returns false on timeout.
   [[nodiscard]] bool quiesce(std::chrono::milliseconds timeout =
@@ -45,6 +54,7 @@ class ThreadTransport final : public Fabric {
   struct Queued {
     Message msg;
     SimTime enqueued_at;  // for the delivery-latency histogram
+    std::function<void()> task;  // when set, a due timer; msg is unused
   };
   struct Mailbox {
     std::mutex mu;
@@ -55,7 +65,22 @@ class ThreadTransport final : public Fabric {
     bool busy = false;
   };
 
+  struct Timer {
+    std::chrono::steady_clock::time_point due;
+    StationId station;
+    std::function<void()> fn;
+    TimerHandle cancel;
+    std::uint64_t seq = 0;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.due != b.due) return a.due > b.due;
+      return a.seq > b.seq;
+    }
+  };
+
   void worker_loop(Mailbox* box);
+  void timer_loop();
 
   mutable std::mutex mu_;
   std::map<StationId, std::unique_ptr<Mailbox>> stations_;
@@ -64,6 +89,12 @@ class ThreadTransport final : public Fabric {
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> seq_{0};
   std::chrono::steady_clock::time_point start_;
+
+  std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::thread timer_thread_;
+  std::uint64_t timer_seq_ = 0;
 
   // Shared registry instruments (same names as SimNetwork's, so protocol
   // code is observable identically on either fabric).

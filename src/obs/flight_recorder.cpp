@@ -14,6 +14,9 @@ const char* flight_kind_name(FlightKind k) {
     case FlightKind::migration: return "migration";
     case FlightKind::repair: return "repair";
     case FlightKind::scrape: return "scrape";
+    case FlightKind::fault: return "fault";
+    case FlightKind::rpc_exhausted: return "rpc_exhausted";
+    case FlightKind::failover: return "failover";
     case FlightKind::custom: return "custom";
   }
   return "?";

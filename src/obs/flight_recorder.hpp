@@ -35,6 +35,9 @@ enum class FlightKind : std::uint8_t {
   migration,           // ephemeral instance demoted back to a reference
   repair,              // anti-entropy pull for a station the push missed
   scrape,              // cluster scrape fan-out/merge activity
+  fault,               // injected fault transition (crash, partition, burst)
+  rpc_exhausted,       // rpc delivered a terminal error (timeout/unreachable)
+  failover,            // peer declared dead / subtree reparented / resurrected
   custom,              // anything else worth a post-mortem line
 };
 

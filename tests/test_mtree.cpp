@@ -167,5 +167,34 @@ TEST(MTree, ChooseMSingleStation) {
   EXPECT_EQ(choose_m(1, 1 << 20, 1e6, 0.02), 1u);
 }
 
+TEST(MTree, GrandparentIsParentAppliedTwice) {
+  for (std::uint64_t m = 1; m <= 4; ++m) {
+    for (std::uint64_t k = 1; k <= 100; ++k) {
+      std::uint64_t expected = k <= 1 ? 1 : parent_position(k, m);
+      expected = expected <= 1 ? 1 : parent_position(expected, m);
+      EXPECT_EQ(grandparent_position(k, m), expected) << "k=" << k << " m=" << m;
+    }
+  }
+  // The failover route for the paper's worked example: position 5 in an
+  // m=3 tree has parent ⌊(5−1−1)/3⌋+1 = 2 and grandparent 1 (the root).
+  EXPECT_EQ(parent_position(5, 3), 2u);
+  EXPECT_EQ(grandparent_position(5, 3), 1u);
+}
+
+TEST(MTree, SubtreeHeightFollowsBreadthFirstFilling) {
+  // 13 stations, m=3: root subtree is the whole 3-level tree (height 2);
+  // position 2 still has children 5..7 below it (height 1); leaves are 0.
+  EXPECT_EQ(subtree_height(1, 3, 13), 2u);
+  EXPECT_EQ(subtree_height(2, 3, 13), 1u);
+  EXPECT_EQ(subtree_height(4, 3, 13), 1u);  // child 13 exists
+  EXPECT_EQ(subtree_height(5, 3, 13), 0u);
+  EXPECT_EQ(subtree_height(13, 3, 13), 0u);
+  // Degenerate chain (m=1): height is the remaining chain length.
+  EXPECT_EQ(subtree_height(1, 1, 5), 4u);
+  EXPECT_EQ(subtree_height(4, 1, 5), 1u);
+  // A single station has no subtree below it.
+  EXPECT_EQ(subtree_height(1, 3, 1), 0u);
+}
+
 }  // namespace
 }  // namespace wdoc::dist

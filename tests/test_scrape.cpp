@@ -25,15 +25,23 @@ double station_sample(const obs::Snapshot& snap, const std::string& name,
 
 constexpr const char* kCounters[] = {
     "station.blob_serves",   "station.demotions",       "station.failed_fetches",
-    "station.fetches_local", "station.fetches_remote",  "station.forwards_up",
-    "station.pushes_forwarded", "station.pushes_received", "station.relays",
-    "station.replications",  "station.serves",
+    "station.failovers",     "station.fetches_local",   "station.fetches_remote",
+    "station.forwards_up",   "station.pushes_forwarded", "station.pushes_received",
+    "station.relays",        "station.replications",    "station.resurrections",
+    "station.rpc_exhausted", "station.rpc_retries",     "station.rpc_timeouts",
+    "station.serves",
 };
 
-std::uint64_t stat_by_name(const NodeStats& st, std::string_view name) {
+// Samples per station in local_snapshot(): the 16 counters above + 2 gauges.
+constexpr std::size_t kSamplesPerStation = 18;
+
+std::uint64_t stat_by_name(const StationNode& node, std::string_view name) {
+  const NodeStats& st = node.stats();
+  const net::RpcStats rpc = node.rpc_stats();
   if (name == "station.blob_serves") return st.blob_serves;
   if (name == "station.demotions") return st.demotions;
   if (name == "station.failed_fetches") return st.failed_fetches;
+  if (name == "station.failovers") return st.failovers;
   if (name == "station.fetches_local") return st.fetches_local;
   if (name == "station.fetches_remote") return st.fetches_remote;
   if (name == "station.forwards_up") return st.forwards_up;
@@ -41,6 +49,10 @@ std::uint64_t stat_by_name(const NodeStats& st, std::string_view name) {
   if (name == "station.pushes_received") return st.pushes_received;
   if (name == "station.relays") return st.relays;
   if (name == "station.replications") return st.replications;
+  if (name == "station.resurrections") return st.resurrections;
+  if (name == "station.rpc_exhausted") return rpc.exhausted;
+  if (name == "station.rpc_retries") return rpc.retries;
+  if (name == "station.rpc_timeouts") return rpc.attempt_timeouts;
   if (name == "station.serves") return st.serves;
   ADD_FAILURE() << "unknown counter " << name;
   return 0;
@@ -91,12 +103,12 @@ TEST(ScrapeTree, MergedSnapshotMatchesEveryStationsLocalCounters) {
   c.net.run();
   ASSERT_TRUE(done);
 
-  // One sample per (counter+gauge, station): 13 counters/gauges × 13 stations.
-  EXPECT_EQ(merged.samples.size(), 13u * 13u);
+  // One sample per (counter+gauge, station).
+  EXPECT_EQ(merged.samples.size(), kSamplesPerStation * 13u);
   for (const auto& node : c.nodes) {
     for (const char* name : kCounters) {
       EXPECT_EQ(station_sample(merged, name, node->id()),
-                static_cast<double>(stat_by_name(node->stats(), name)))
+                static_cast<double>(stat_by_name(*node, name)))
           << name << " station " << node->id().value();
     }
   }
@@ -118,7 +130,7 @@ TEST(ScrapeTree, LeafScrapeReturnsOnlyItself) {
                   })
                   .is_ok());
   c.net.run();
-  EXPECT_EQ(merged.samples.size(), 13u);
+  EXPECT_EQ(merged.samples.size(), kSamplesPerStation);
   for (const obs::MetricSample& s : merged.samples) {
     EXPECT_EQ(s.labels.at("station"), std::to_string(c.nodes[4]->id().value()));
   }
@@ -201,11 +213,11 @@ TEST_F(ScrapeClusterFixture, MergesThirteenStationTree) {
   ASSERT_TRUE(done);
   EXPECT_EQ(admin_->scrapes_completed(), 1u);
 
-  EXPECT_EQ(merged.samples.size(), 13u * 13u);
+  EXPECT_EQ(merged.samples.size(), kSamplesPerStation * 13u);
   for (const auto& m : members_) {
     for (const char* name : kCounters) {
       EXPECT_EQ(station_sample(merged, name, m->id),
-                static_cast<double>(stat_by_name(m->node->stats(), name)))
+                static_cast<double>(stat_by_name(*m->node, name)))
           << name << " station " << m->id.value();
     }
   }

@@ -351,6 +351,64 @@ TEST(StationNode, RepeatBlobFetchIsLocal) {
   EXPECT_EQ(c.store(1).blobs().gc(), manifest.blobs[0].size);
 }
 
+TEST(StationNode, DuplicateFetchResponseIsCountedAndIgnored) {
+  Cluster c(13, 3);
+  auto manifest = lecture_manifest(c.id(0));
+  ASSERT_TRUE(c.store(0).put_instance(manifest, false).is_ok());
+
+  int completions = 0;
+  ASSERT_TRUE(c.node(12)
+                  .fetch(manifest.doc_key,
+                         [&](Result<DocManifest> r, SimTime) {
+                           ASSERT_TRUE(r.is_ok());
+                           ++completions;
+                         })
+                  .is_ok());
+  c.net().run();
+  ASSERT_EQ(completions, 1);
+  ASSERT_EQ(c.node(12).pending_rpcs(), 0u);
+
+  // Replay the response for the (already resolved) first request, as a
+  // retry racing the original answer would: same req_id, empty relay path.
+  const std::uint64_t stale_req_id = (c.id(12).value() << 24) | 1;
+  Writer w;
+  w.u64(stale_req_id);
+  manifest.serialize(w);
+  w.u32(0);  // empty path: final delivery
+  net::Message dup;
+  dup.from = c.id(0);
+  dup.to = c.id(12);
+  dup.type = StationNode::kFetchRsp;
+  dup.payload = w.take();
+  ASSERT_TRUE(c.net().send(std::move(dup)).is_ok());
+  c.net().run();
+
+  // The callback did not fire again; the duplicate was counted.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(c.node(12).rpc_stats().duplicates, 1u);
+  EXPECT_EQ(c.node(12).rpc_stats().completed, 1u);
+}
+
+TEST(StationNode, ConfigValidationRejectsNonsense) {
+  StationConfig zero_watermark;
+  zero_watermark.watermark = 0;
+  EXPECT_EQ(zero_watermark.validate().code(), Errc::invalid_argument);
+
+  StationConfig zero_deadline;
+  zero_deadline.rpc.deadline = SimTime::zero();
+  EXPECT_EQ(zero_deadline.validate().code(), Errc::invalid_argument);
+
+  StationConfig zero_threshold;
+  zero_threshold.failover_threshold = 0;
+  EXPECT_EQ(zero_threshold.validate().code(), Errc::invalid_argument);
+
+  StationConfig no_bandwidth;
+  no_bandwidth.min_bandwidth_bps = 0.0;
+  EXPECT_EQ(no_bandwidth.validate().code(), Errc::invalid_argument);
+
+  EXPECT_TRUE(StationConfig{}.validate().is_ok());
+}
+
 TEST(StationNode, PushedBytesScaleWithTreeEdges) {
   Cluster c(7, 2);
   auto manifest = lecture_manifest(c.id(0));
