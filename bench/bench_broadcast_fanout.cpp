@@ -22,8 +22,11 @@ struct RunResult {
   bool complete = false;
 };
 
-RunResult run_broadcast(std::size_t n, std::uint64_t m, std::uint64_t lecture_bytes) {
-  SimCluster cluster(n, m, kCampusLink);
+RunResult run_broadcast(std::size_t n, std::uint64_t m, std::uint64_t lecture_bytes,
+                        bool chunked) {
+  dist::StationConfig cfg;
+  cfg.chunk.enabled = chunked;
+  SimCluster cluster(n, m, kCampusLink, cfg);
   auto doc = make_lecture("http://mmu.edu/lecture", lecture_bytes, cluster.id(0));
   cluster.node(0).broadcast_push(doc).expect("push");
   cluster.net().run();
@@ -45,27 +48,30 @@ int main(int argc, char** argv) {
 
   for (std::size_t n : {15u, 63u, 255u}) {
     std::printf("N = %zu stations\n", n);
-    std::printf("  %10s %8s %14s %18s %10s\n", "m", "depth", "makespan(s)",
-                "root uplink(MB)", "complete");
+    std::printf("  %10s %8s %14s %14s %9s %18s %10s\n", "m", "depth",
+                "store-fwd(s)", "pipelined(s)", "speedup", "root uplink(MB)",
+                "complete");
     double chain = 0, best = 1e18, star = 0;
     std::uint64_t best_m = 1;
     for (std::uint64_t m : {1ull, 2ull, 3ull, 4ull, 8ull,
                             static_cast<unsigned long long>(n - 1)}) {
-      RunResult r = run_broadcast(n, m, lecture_bytes);
+      RunResult sf = run_broadcast(n, m, lecture_bytes, /*chunked=*/false);
+      RunResult pl = run_broadcast(n, m, lecture_bytes, /*chunked=*/true);
       const char* tag = m == 1 ? "chain" : (m == n - 1 ? "star" : "");
-      std::printf("  %4llu %5s %8llu %14.2f %18.1f %10s\n",
+      std::printf("  %4llu %5s %8llu %14.2f %14.2f %8.1fx %18.1f %10s\n",
                   static_cast<unsigned long long>(m), tag,
-                  static_cast<unsigned long long>(r.depth), r.makespan_s, r.root_mb,
-                  r.complete ? "yes" : "NO");
-      if (m == 1) chain = r.makespan_s;
-      if (m == n - 1) star = r.makespan_s;
-      if (r.makespan_s < best) {
-        best = r.makespan_s;
+                  static_cast<unsigned long long>(sf.depth), sf.makespan_s,
+                  pl.makespan_s, sf.makespan_s / pl.makespan_s, pl.root_mb,
+                  (sf.complete && pl.complete) ? "yes" : "NO");
+      if (m == 1) chain = pl.makespan_s;
+      if (m == n - 1) star = pl.makespan_s;
+      if (pl.makespan_s < best) {
+        best = pl.makespan_s;
         best_m = m;
       }
     }
-    std::printf("  -> best m = %llu: %.1fx faster than the chain, %.1fx faster "
-                "than the star\n\n",
+    std::printf("  -> best m = %llu (pipelined): %.1fx faster than the chain, "
+                "%.1fx faster than the star\n\n",
                 static_cast<unsigned long long>(best_m), chain / best, star / best);
   }
 

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -226,6 +227,173 @@ std::optional<BlobId> BlobStore::find(const Digest128& digest) const {
   auto it = by_digest_.find(digest);
   if (it == by_digest_.end()) return std::nullopt;
   return it->second;
+}
+
+// --- partial assembly --------------------------------------------------------
+
+Result<bool> BlobStore::begin_partial(const Digest128& digest, std::uint64_t size,
+                                      MediaType type, std::uint32_t chunk_bytes) {
+  if (size == 0) return Error{Errc::invalid_argument, "partial of empty blob"};
+  if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
+    return Error{Errc::invalid_argument,
+                 "bad chunk size " + std::to_string(chunk_bytes)};
+  }
+  if (by_digest_.contains(digest)) return false;  // already complete
+  auto it = partials_.find(digest);
+  if (it != partials_.end()) {
+    const PartialInfo& p = it->second.info;
+    if (p.size != size || p.chunk_bytes != chunk_bytes) {
+      return Error{Errc::invalid_argument, "partial geometry mismatch for " + digest.to_hex()};
+    }
+    return true;
+  }
+  Partial p;
+  p.info = PartialInfo{digest, size, type, chunk_bytes, chunk_count(size, chunk_bytes), 0};
+  p.have.assign(p.info.chunks_total, false);
+  p.real.assign(p.info.chunks_total, false);
+  partials_.emplace(digest, std::move(p));
+  return true;
+}
+
+Result<BlobStore::ChunkAdd> BlobStore::promote_partial(Partial& p) {
+  const PartialInfo& info = p.info;
+  bool all_real = p.any_real && static_cast<std::uint32_t>(std::count(
+                                    p.real.begin(), p.real.end(), true)) == info.chunks_total;
+  if (all_real) {
+    // Whole-blob integrity gate: per-chunk digests already passed, but the
+    // declared blob digest is the contract — reject and restart assembly
+    // rather than ever accepting bytes under the wrong content address.
+    if (digest128(std::span<const std::uint8_t>(p.data)) != info.digest) {
+      p.have.assign(info.chunks_total, false);
+      p.real.assign(info.chunks_total, false);
+      p.info.chunks_have = 0;
+      partial_bytes_ -= info.size;
+      p.any_real = false;
+      p.data.clear();
+      p.data.shrink_to_fit();
+      return Error{Errc::corrupt,
+                   "reassembled blob failed whole-content verification: " + info.digest.to_hex()};
+    }
+  }
+  Result<BlobId> id = all_real ? put_entry(info.digest, info.size, info.type,
+                                           std::move(p.data), /*resident=*/true)
+                               : put_synthetic(info.digest, info.size, info.type);
+  if (!id) return id.error();  // e.g. out of space; partial stays for a retry
+  // The assembled blob is buffer space until a document instance claims it —
+  // the same zero-reference contract a completed single-shot fetch leaves.
+  WDOC_TRY(release(id.value()));
+  if (p.any_real) partial_bytes_ -= info.size;
+  partials_.erase(info.digest);
+  return ChunkAdd::completed;
+}
+
+Result<BlobStore::ChunkAdd> BlobStore::add_chunk(const Digest128& digest, std::uint32_t index,
+                                                 const Digest128& chunk_digest,
+                                                 std::span<const std::uint8_t> data) {
+  if (by_digest_.contains(digest)) return ChunkAdd::duplicate;  // blob complete
+  auto it = partials_.find(digest);
+  if (it == partials_.end()) {
+    return Error{Errc::not_found, "no partial for " + digest.to_hex()};
+  }
+  Partial& p = it->second;
+  if (index >= p.info.chunks_total) {
+    return Error{Errc::corrupt, "chunk index " + std::to_string(index) + " out of range"};
+  }
+  const std::uint32_t expect = chunk_size_at(p.info.size, index, p.info.chunk_bytes);
+  if (data.empty()) {
+    if (chunk_digest != synthetic_chunk_digest(digest, index)) {
+      return Error{Errc::corrupt, "synthetic chunk digest mismatch"};
+    }
+  } else {
+    if (data.size() != expect) {
+      return Error{Errc::corrupt, "chunk size " + std::to_string(data.size()) +
+                                      " != expected " + std::to_string(expect)};
+    }
+    if (real_chunk_digest(data) != chunk_digest) {
+      return Error{Errc::corrupt, "chunk payload digest mismatch"};
+    }
+  }
+  if (p.have[index]) return ChunkAdd::duplicate;
+  p.have[index] = true;
+  ++p.info.chunks_have;
+  if (!data.empty()) {
+    if (!p.any_real) {
+      p.data.assign(p.info.size, 0);
+      partial_bytes_ += p.info.size;
+      p.any_real = true;
+    }
+    std::copy(data.begin(), data.end(),
+              p.data.begin() + static_cast<std::ptrdiff_t>(chunk_offset(index, p.info.chunk_bytes)));
+    p.real[index] = true;
+  }
+  if (p.info.chunks_have == p.info.chunks_total) return promote_partial(p);
+  return ChunkAdd::accepted;
+}
+
+const BlobStore::PartialInfo* BlobStore::partial(const Digest128& digest) const {
+  auto it = partials_.find(digest);
+  return it == partials_.end() ? nullptr : &it->second.info;
+}
+
+bool BlobStore::has_chunk(const Digest128& digest, std::uint32_t index,
+                          std::uint32_t chunk_bytes) const {
+  if (auto id = find(digest); id.has_value()) {
+    const BlobInfo* i = info(*id);
+    return i != nullptr && index < chunk_count(i->size, chunk_bytes);
+  }
+  auto it = partials_.find(digest);
+  return it != partials_.end() && it->second.info.chunk_bytes == chunk_bytes &&
+         index < it->second.info.chunks_total && it->second.have[index];
+}
+
+std::vector<std::uint32_t> BlobStore::missing_chunks(const Digest128& digest,
+                                                     std::uint32_t max) const {
+  std::vector<std::uint32_t> out;
+  auto it = partials_.find(digest);
+  if (it == partials_.end()) return out;
+  const Partial& p = it->second;
+  for (std::uint32_t i = 0; i < p.info.chunks_total && out.size() < max; ++i) {
+    if (!p.have[i]) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Bytes> BlobStore::chunk_payload(const Digest128& digest, std::uint32_t index,
+                                       std::uint32_t chunk_bytes) {
+  if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
+    return Error{Errc::invalid_argument, "bad chunk size"};
+  }
+  if (auto id = find(digest); id.has_value()) {
+    const BlobInfo* i = info(*id);
+    if (i == nullptr || index >= chunk_count(i->size, chunk_bytes)) {
+      return Error{Errc::unavailable, "chunk index out of range"};
+    }
+    if (!i->resident) return Bytes{};  // synthetic: size-only chunk
+    auto span = get(*id);
+    if (!span) return span.error();
+    const std::uint64_t off = chunk_offset(index, chunk_bytes);
+    const std::uint32_t len = chunk_size_at(i->size, index, chunk_bytes);
+    return Bytes(span.value().begin() + static_cast<std::ptrdiff_t>(off),
+                 span.value().begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  auto it = partials_.find(digest);
+  if (it == partials_.end() || it->second.info.chunk_bytes != chunk_bytes ||
+      index >= it->second.info.chunks_total || !it->second.have[index]) {
+    return Error{Errc::unavailable, "chunk not held locally"};
+  }
+  const Partial& p = it->second;
+  if (!p.real[index]) return Bytes{};  // received synthetically
+  const std::uint64_t off = chunk_offset(index, chunk_bytes);
+  const std::uint32_t len = chunk_size_at(p.info.size, index, chunk_bytes);
+  return Bytes(p.data.begin() + static_cast<std::ptrdiff_t>(off),
+               p.data.begin() + static_cast<std::ptrdiff_t>(off + len));
+}
+
+void BlobStore::drop_partial(const Digest128& digest) {
+  auto it = partials_.find(digest);
+  if (it == partials_.end()) return;
+  if (it->second.any_real) partial_bytes_ -= it->second.info.size;
+  partials_.erase(it);
 }
 
 std::uint64_t BlobStore::gc() {

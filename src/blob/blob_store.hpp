@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -20,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blob/chunk.hpp"
 #include "blob/media.hpp"
 #include "common/hash.hpp"
 #include "common/ids.hpp"
@@ -77,6 +79,53 @@ class BlobStore {
   // Frees every zero-reference blob; returns bytes reclaimed.
   [[nodiscard]] std::uint64_t gc();
 
+  // --- partial assembly (chunked transfers) -----------------------------
+  // A partial tracks a blob mid-transfer: a bitmap of verified chunks and
+  // (for real transfers) the reassembly buffer. When the last chunk lands
+  // the blob is re-verified against its whole-content digest and promoted
+  // to a regular zero-reference entry (buffer space a document instance
+  // claims later, exactly like a completed single-shot blob fetch); a
+  // failed whole-blob check resets the partial instead of accepting.
+  struct PartialInfo {
+    Digest128 digest;
+    std::uint64_t size = 0;
+    MediaType type = MediaType::other;
+    std::uint32_t chunk_bytes = 0;
+    std::uint32_t chunks_total = 0;
+    std::uint32_t chunks_have = 0;
+  };
+  enum class ChunkAdd : std::uint8_t {
+    accepted = 0,   // new chunk verified and recorded
+    duplicate = 1,  // chunk (or whole blob) already present
+    completed = 2,  // this chunk finished the blob; it is now a store entry
+  };
+
+  // Starts (or re-finds) assembly state for `digest`. Returns false when the
+  // blob is already complete in the store, true when a partial now exists.
+  // An existing partial with different geometry is an invalid_argument.
+  [[nodiscard]] Result<bool> begin_partial(const Digest128& digest, std::uint64_t size,
+                                           MediaType type, std::uint32_t chunk_bytes);
+  // Verifies and records one chunk. `data` empty = synthetic chunk (the
+  // expected digest is then synthetic_chunk_digest(digest, index)). A digest
+  // or bounds mismatch is Errc::corrupt and never sets the bitmap bit.
+  [[nodiscard]] Result<ChunkAdd> add_chunk(const Digest128& digest, std::uint32_t index,
+                                           const Digest128& chunk_digest,
+                                           std::span<const std::uint8_t> data);
+  [[nodiscard]] const PartialInfo* partial(const Digest128& digest) const;
+  [[nodiscard]] bool has_chunk(const Digest128& digest, std::uint32_t index,
+                               std::uint32_t chunk_bytes) const;
+  // Up to `max` missing chunk indices, ascending (empty for unknown digests).
+  [[nodiscard]] std::vector<std::uint32_t> missing_chunks(const Digest128& digest,
+                                                          std::uint32_t max) const;
+  // Bytes of chunk `index`, served from a complete resident blob or from a
+  // partial's verified buffer; empty bytes when the chunk is synthetic.
+  // Errc::unavailable when the chunk is not held locally.
+  [[nodiscard]] Result<Bytes> chunk_payload(const Digest128& digest, std::uint32_t index,
+                                            std::uint32_t chunk_bytes);
+  void drop_partial(const Digest128& digest);
+  [[nodiscard]] std::size_t partial_count() const { return partials_.size(); }
+  [[nodiscard]] std::uint64_t partial_bytes() const { return partial_bytes_; }
+
   // --- accounting -------------------------------------------------------
   // Unique bytes on disk.
   [[nodiscard]] std::uint64_t stored_bytes() const { return stored_bytes_; }
@@ -94,13 +143,24 @@ class BlobStore {
     bool loaded = false;  // data holds the payload
   };
 
+  struct Partial {
+    PartialInfo info;
+    std::vector<bool> have;  // verified chunks
+    std::vector<bool> real;  // chunks whose payload bytes are in `data`
+    Bytes data;              // sized on first real chunk; empty while synthetic
+    bool any_real = false;
+  };
+
   [[nodiscard]] Result<BlobId> put_entry(const Digest128& digest, std::uint64_t size,
                                          MediaType type, Bytes data, bool resident);
+  [[nodiscard]] Result<ChunkAdd> promote_partial(Partial& p);
   [[nodiscard]] std::string blob_path(const Digest128& digest) const;
   void remove_entry_files(const Entry& e);
 
   std::unordered_map<std::uint64_t, Entry> blobs_;  // by id value
   std::unordered_map<Digest128, BlobId> by_digest_;
+  std::map<Digest128, Partial> partials_;  // ordered: deterministic iteration
+  std::uint64_t partial_bytes_ = 0;
   IdAllocator<BlobId> ids_;
   std::uint64_t capacity_;
   std::uint64_t stored_bytes_ = 0;

@@ -1,0 +1,11 @@
+#include "blob/chunk.hpp"
+
+namespace wdoc::blob {
+
+Digest128 synthetic_chunk_digest(const Digest128& blob, std::uint32_t index) {
+  std::uint64_t lo = hash_combine(blob.lo, 0x5348554e4b000000ull ^ index);
+  std::uint64_t hi = hash_combine(blob.hi, hash_combine(lo, index));
+  return Digest128{lo, hi};
+}
+
+}  // namespace wdoc::blob

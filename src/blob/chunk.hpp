@@ -1,0 +1,52 @@
+// Chunk geometry and integrity for the chunked transfer paths.
+//
+// A BLOB of `size` bytes splits into fixed-size chunks of `chunk_bytes`
+// (the last one ragged). Every chunk carries its own content digest so a
+// relay can verify-and-forward chunk k before chunk k+1 arrives; synthetic
+// blobs (size-only, no payload — see BlobStore) use a deterministic digest
+// derived from the blob digest and the chunk index, so integrity checking
+// stays uniform across simulated and real transfers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/hash.hpp"
+
+namespace wdoc::blob {
+
+// Hard upper bound on a sane chunk size; wire decoders reject anything
+// larger before allocating (a hostile length must never drive an alloc).
+inline constexpr std::uint32_t kMaxChunkBytes = 64u << 20;
+
+[[nodiscard]] constexpr std::uint32_t chunk_count(std::uint64_t size,
+                                                  std::uint32_t chunk_bytes) {
+  if (chunk_bytes == 0) return 0;
+  return static_cast<std::uint32_t>((size + chunk_bytes - 1) / chunk_bytes);
+}
+
+[[nodiscard]] constexpr std::uint64_t chunk_offset(std::uint32_t index,
+                                                   std::uint32_t chunk_bytes) {
+  return static_cast<std::uint64_t>(index) * chunk_bytes;
+}
+
+// Size of chunk `index` of a `size`-byte blob; 0 for an out-of-range index.
+[[nodiscard]] constexpr std::uint32_t chunk_size_at(std::uint64_t size, std::uint32_t index,
+                                                    std::uint32_t chunk_bytes) {
+  std::uint64_t off = chunk_offset(index, chunk_bytes);
+  if (off >= size) return 0;
+  std::uint64_t left = size - off;
+  return static_cast<std::uint32_t>(left < chunk_bytes ? left : chunk_bytes);
+}
+
+// Digest a synthetic chunk inherits from its blob: both endpoints derive it
+// independently, so a flipped index or a chunk of the wrong blob still
+// fails verification even when no payload crosses the wire.
+[[nodiscard]] Digest128 synthetic_chunk_digest(const Digest128& blob, std::uint32_t index);
+
+// Digest of a real chunk's payload bytes.
+[[nodiscard]] inline Digest128 real_chunk_digest(std::span<const std::uint8_t> data) {
+  return digest128(data);
+}
+
+}  // namespace wdoc::blob

@@ -57,16 +57,22 @@ Result<std::size_t> LectureSession::repair() {
     if (node->store().doc(key) == nullptr) {
       WDOC_TRY(node->store().put_reference(manifest_));
     }
-    // Force materialization on arrival regardless of the watermark: the
-    // lecture is live, the student needs the physical data now.
-    StationNode* target = node;
-    std::string doc_key = key;
-    Status pulled =
-        node->fetch(key, [target, doc_key](Result<DocManifest> r, SimTime) {
-          if (r.is_ok()) {
-            (void)target->store().materialize(doc_key, /*ephemeral=*/true);
-          }
-        });
+    Status pulled = Status::ok();
+    if (node->config().chunk.enabled && !manifest_.blobs.empty()) {
+      // Chunk-granularity anti-entropy: pull only the missing chunks of the
+      // missing blobs; repair_pull materializes on completion itself.
+      pulled = node->repair_pull(manifest_, [](Result<DocManifest>, SimTime) {});
+    } else {
+      // Force materialization on arrival regardless of the watermark: the
+      // lecture is live, the student needs the physical data now.
+      StationNode* target = node;
+      std::string doc_key = key;
+      pulled = node->fetch(key, [target, doc_key](Result<DocManifest> r, SimTime) {
+        if (r.is_ok()) {
+          (void)target->store().materialize(doc_key, /*ephemeral=*/true);
+        }
+      });
+    }
     // Unroutable right now (e.g. its whole ancestor chain is suspected
     // dead): skip this round, the next repair pass retries.
     if (!pulled.is_ok()) continue;

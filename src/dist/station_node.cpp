@@ -1,7 +1,9 @@
 #include "dist/station_node.hpp"
 
 #include <algorithm>
+#include <limits>
 
+#include "blob/chunk.hpp"
 #include "common/log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
@@ -23,6 +25,14 @@ struct DistMetrics {
   obs::Counter& failovers;
   obs::Counter& resurrections;
   obs::Counter& scrape_partials;
+  obs::Counter& chunk_sent;
+  obs::Counter& chunk_bytes;
+  obs::Counter& chunk_duplicates;
+  obs::Counter& chunk_rejects;
+  obs::Counter& chunk_retransmits;
+  obs::Counter& chunk_orphans;
+  obs::Counter& chunk_repair_reqs;
+  obs::Counter& chunk_repair_served;
 
   static DistMetrics& get() {
     static DistMetrics* m = [] {
@@ -33,11 +43,26 @@ struct DistMetrics {
           reg.counter("dist.migrations"),     reg.counter("dist.failed_fetches"),
           reg.counter("dist.blob_serves"),    reg.counter("dist.failovers"),
           reg.counter("dist.resurrections"),  reg.counter("dist.scrape_partials"),
+          reg.counter("dist.chunk.sent"),     reg.counter("dist.chunk.bytes_sent"),
+          reg.counter("dist.chunk.duplicates"), reg.counter("dist.chunk.rejects"),
+          reg.counter("dist.chunk.retransmits"), reg.counter("dist.chunk.orphaned"),
+          reg.counter("dist.chunk.repair_reqs"), reg.counter("dist.chunk.repair_served"),
       };
     }();
     return *m;
   }
 };
+
+// Packs (blob ordinal, chunk index) into the cursor queues' chunk key.
+[[nodiscard]] constexpr std::uint64_t chunk_key(std::uint32_t ordinal, std::uint32_t index) {
+  return (static_cast<std::uint64_t>(ordinal) << 32) | index;
+}
+[[nodiscard]] constexpr std::uint32_t key_ordinal(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t key_index(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key & 0xffffffffu);
+}
 
 // fetch_req payload: req_id, doc_key, path of station ids walked so far
 // (originator first).
@@ -210,12 +235,23 @@ struct BlobRsp {
 
 }  // namespace
 
+Status ChunkConfig::validate() const {
+  if (chunk_bytes == 0 || chunk_bytes > blob::kMaxChunkBytes) {
+    return {Errc::invalid_argument,
+            "chunk_bytes must be in [1, " + std::to_string(blob::kMaxChunkBytes) + "]"};
+  }
+  if (window == 0) return {Errc::invalid_argument, "chunk window must be >= 1"};
+  if (repair_batch == 0) return {Errc::invalid_argument, "repair_batch must be >= 1"};
+  return Status::ok();
+}
+
 Status StationConfig::validate() const {
   if (watermark == 0) {
     return {Errc::invalid_argument,
             "watermark must be >= 1 (use a large value to disable replication)"};
   }
   WDOC_TRY(rpc.validate());
+  WDOC_TRY(chunk.validate());
   if (failover_threshold == 0) {
     return {Errc::invalid_argument, "failover_threshold must be >= 1"};
   }
@@ -341,6 +377,15 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
   if (store_->doc(manifest.doc_key) == nullptr) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
+  if (!config_.chunk.enabled) return broadcast_push_store_forward(manifest);
+  return start_chunked_push(manifest);
+}
+
+Status StationNode::broadcast_push_store_forward(const DocManifest& manifest) {
+  if (position_ == 0) return {Errc::invalid_argument, "station not in broadcast tree"};
+  if (store_->doc(manifest.doc_key) == nullptr) {
+    WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
+  }
   auto& tracer = obs::Tracer::global();
   std::uint64_t span =
       tracer.begin("dist.push " + manifest.doc_key, 0, fabric_->now(), self_.value());
@@ -349,6 +394,566 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
     ++stats_.pushes_forwarded;
   }
   tracer.end(span, fabric_->now());
+  return Status::ok();
+}
+
+// --- chunked push ------------------------------------------------------------
+
+Status StationNode::start_chunked_push(const DocManifest& manifest) {
+  std::uint64_t transfer_id = (self_.value() << 24) | ++next_req_;
+  Transfer t;
+  t.manifest = manifest;
+  t.chunk_bytes = config_.chunk.chunk_bytes;
+  for (const BlobRef& b : manifest.blobs) {
+    t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
+  }
+  t.delivered = true;  // the instructor holds the persistent instance
+  t.span = obs::Tracer::global().begin("dist.push " + manifest.doc_key, 0,
+                                       fabric_->now(), self_.value());
+  auto [it, inserted] = transfers_.emplace(transfer_id, std::move(t));
+  WDOC_CHECK(inserted, "duplicate transfer id");
+  open_transfer_children(transfer_id, it->second);
+  maybe_retire_transfer(transfer_id);
+  return Status::ok();
+}
+
+void StationNode::open_transfer_children(std::uint64_t transfer_id, Transfer& t) {
+  if (position_ == 0) return;
+  net::ChunkBegin begin;
+  begin.transfer_id = transfer_id;
+  begin.chunk_bytes = t.chunk_bytes;
+  Writer w;
+  t.manifest.serialize(w);
+  begin.manifest = w.take();
+  const Bytes payload = begin.encode();
+  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+    StationId cid = broadcast_vector_[child - 1];
+    net::Message out;
+    out.from = self_;
+    out.to = cid;
+    out.type = kChunkBegin;
+    out.payload = payload;
+    // The begin carries the structure (the small copied objects) plus the
+    // manifest itself; blob bytes are charged chunk by chunk.
+    out.wire_size = t.manifest.structure_bytes + payload.size();
+    out.trace_parent = t.span;
+    DistMetrics::get().pushes.inc();
+    Status s = fabric_->send(std::move(out));
+    if (!s.is_ok()) continue;
+    ++stats_.pushes_forwarded;
+    ChildCursor cursor;
+    cursor.child = cid;
+    t.children.push_back(std::move(cursor));
+    enqueue_held_chunks(t, t.children.back());
+  }
+  for (ChildCursor& cursor : t.children) pump_cursor(transfer_id, cursor);
+}
+
+void StationNode::enqueue_held_chunks(Transfer& t, ChildCursor& cursor) {
+  auto& bs = store_->blobs();
+  for (std::uint32_t ordinal = 0; ordinal < t.manifest.blobs.size(); ++ordinal) {
+    const BlobRef& b = t.manifest.blobs[ordinal];
+    const std::uint32_t total = blob::chunk_count(b.size, t.chunk_bytes);
+    for (std::uint32_t i = 0; i < total; ++i) {
+      if (bs.has_chunk(b.digest, i, t.chunk_bytes)) {
+        cursor.pending.push_back(chunk_key(ordinal, i));
+      }
+    }
+  }
+}
+
+void StationNode::pump_cursor(std::uint64_t transfer_id, ChildCursor& cursor) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (dead_.contains(cursor.child)) {
+    // Stop feeding a declared-dead child; its reparented subtree recovers
+    // the tail through chunk-level repair instead.
+    cursor.pending.clear();
+    return;
+  }
+  while (!cursor.pending.empty() && cursor.in_flight.size() < config_.chunk.window) {
+    const std::uint64_t key = cursor.pending.front();
+    cursor.pending.pop_front();
+    const std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+    const StationId child = cursor.child;
+    rpc_target_[req_id] = child;
+    net::RpcOptions opts = config_.rpc;
+    // A chunk may legitimately wait behind every other in-flight chunk of
+    // this transfer on the shared uplink before its ack can even start back
+    // (the windows of ALL children serialize through one link — a star
+    // parent queues children × window chunks); scale the per-attempt
+    // deadline by that worst-case backlog on the slowest modeled link.
+    opts.deadline += SimTime::seconds(
+        static_cast<double>(t.children.size()) *
+        static_cast<double>(config_.chunk.window) *
+        static_cast<double>(t.chunk_bytes) * 8.0 / config_.min_bandwidth_bps);
+    rpc_.track<std::uint64_t>(
+        req_id, opts,
+        [this, transfer_id, child, key, req_id](Result<std::uint64_t>, SimTime) {
+          // Acked or given up: either way the window slot frees. A lost
+          // chunk is not re-pushed past its retry budget — the child's
+          // chunk-level repair re-pulls exactly the missing indices.
+          rpc_target_.erase(req_id);
+          auto ti = transfers_.find(transfer_id);
+          if (ti == transfers_.end()) return;
+          for (ChildCursor& c : ti->second.children) {
+            if (c.child != child) continue;
+            c.in_flight.erase(key);
+            pump_cursor(transfer_id, c);
+            break;
+          }
+          maybe_retire_transfer(transfer_id);
+        },
+        [this, transfer_id, child, key, req_id](std::uint32_t) {
+          if (dead_.contains(child)) {
+            return Status{Errc::unreachable, "child declared dead"};
+          }
+          auto ti = transfers_.find(transfer_id);
+          if (ti == transfers_.end()) {
+            return Status{Errc::unavailable, "transfer retired"};
+          }
+          return send_chunk(transfer_id, ti->second, child, key, req_id,
+                            /*retransmit=*/true);
+        });
+    Status s = send_chunk(transfer_id, t, child, key, req_id, /*retransmit=*/false);
+    if (!s.is_ok()) {
+      rpc_.cancel(req_id);
+      rpc_target_.erase(req_id);
+      continue;
+    }
+    cursor.in_flight.emplace(key, req_id);
+  }
+}
+
+Status StationNode::send_chunk(std::uint64_t transfer_id, const Transfer& t,
+                               StationId child, std::uint64_t key,
+                               std::uint64_t req_id, bool retransmit) {
+  const std::uint32_t ordinal = key_ordinal(key);
+  const std::uint32_t index = key_index(key);
+  if (ordinal >= t.manifest.blobs.size()) {
+    return {Errc::invalid_argument, "chunk key out of range"};
+  }
+  const BlobRef& b = t.manifest.blobs[ordinal];
+  auto payload = store_->blobs().chunk_payload(b.digest, index, t.chunk_bytes);
+  if (!payload) return payload.status();
+  net::ChunkData d;
+  d.req_id = req_id;
+  d.transfer_id = transfer_id;
+  d.digest = b.digest;
+  d.index = index;
+  d.chunk_len = blob::chunk_size_at(b.size, index, t.chunk_bytes);
+  d.has_payload = !payload.value().empty();
+  d.chunk_digest = d.has_payload
+                       ? blob::real_chunk_digest(payload.value())
+                       : blob::synthetic_chunk_digest(b.digest, index);
+  if (d.has_payload) d.payload = std::move(payload).value();
+  net::Message out;
+  out.from = self_;
+  out.to = child;
+  out.type = kChunkData;
+  out.payload = d.encode();
+  if (!d.has_payload) out.wire_size = d.chunk_len + 64;
+  out.trace_parent = t.span;
+  ++stats_.chunks_sent;
+  stats_.chunk_bytes_sent += d.chunk_len;
+  auto& dm = DistMetrics::get();
+  dm.chunk_sent.inc();
+  dm.chunk_bytes.inc(d.chunk_len);
+  if (retransmit) {
+    ++stats_.chunk_retransmits;
+    dm.chunk_retransmits.inc();
+  }
+  return fabric_->send(std::move(out));
+}
+
+bool StationNode::transfer_blobs_complete(const Transfer& t) const {
+  const auto& bs = store_->blobs();
+  for (const BlobRef& b : t.manifest.blobs) {
+    if (b.size != 0 && !bs.find(b.digest).has_value()) return false;
+  }
+  return true;
+}
+
+void StationNode::deliver_transfer(std::uint64_t transfer_id) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end() || it->second.delivered) return;
+  Transfer& t = it->second;
+  t.delivered = true;
+  const std::string& key = t.manifest.doc_key;
+  const StoredDoc* d = store_->doc(key);
+  if (d == nullptr) {
+    (void)store_->put_instance(t.manifest, /*ephemeral=*/true);
+  } else if (d->form == ObjectForm::reference) {
+    (void)store_->materialize(key, /*ephemeral=*/true);
+  }
+}
+
+void StationNode::maybe_retire_transfer(std::uint64_t transfer_id) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  const Transfer& t = it->second;
+  if (!t.delivered) return;
+  for (const ChildCursor& c : t.children) {
+    if (!c.pending.empty() || !c.in_flight.empty()) return;
+  }
+  obs::Tracer::global().end(t.span, fabric_->now());
+  transfers_.erase(it);
+}
+
+void StationNode::on_chunk_begin(const net::Message& msg) {
+  auto begin = net::ChunkBegin::decode(msg.payload);
+  if (!begin) {
+    WDOC_ERROR("chunk begin decode failed: %s", begin.message().c_str());
+    return;
+  }
+  Reader mr(begin.value().manifest);
+  auto manifest = DocManifest::deserialize(mr);
+  if (!manifest) {
+    WDOC_ERROR("chunk begin manifest decode failed: %s", manifest.message().c_str());
+    return;
+  }
+  ++stats_.pushes_received;
+  const std::uint64_t transfer_id = begin.value().transfer_id;
+  if (transfers_.contains(transfer_id)) return;  // duplicate begin
+  const DocManifest& m = manifest.value();
+  Transfer t;
+  t.manifest = m;
+  t.chunk_bytes = begin.value().chunk_bytes;
+  for (const BlobRef& b : m.blobs) {
+    t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
+  }
+  t.span = obs::Tracer::global().begin("dist.push.hop " + m.doc_key, msg.trace_parent,
+                                       fabric_->now(), self_.value());
+  // Mirror entry first, so even a transfer that loses its tail leaves the
+  // routing information chunk-level repair needs.
+  if (store_->doc(m.doc_key) == nullptr) (void)store_->put_reference(m);
+  auto& bs = store_->blobs();
+  for (const BlobRef& b : m.blobs) {
+    if (bs.find(b.digest).has_value() || b.size == 0) continue;
+    (void)bs.begin_partial(b.digest, b.size, b.type, t.chunk_bytes);
+  }
+  auto [it, inserted] = transfers_.emplace(transfer_id, std::move(t));
+  WDOC_CHECK(inserted, "duplicate transfer id");
+  open_transfer_children(transfer_id, it->second);
+  if (transfer_blobs_complete(it->second)) deliver_transfer(transfer_id);
+  maybe_retire_transfer(transfer_id);
+}
+
+void StationNode::on_chunk_data(const net::Message& msg) {
+  auto data = net::ChunkData::decode(msg.payload);
+  if (!data) {
+    ++stats_.chunk_rejects;
+    DistMetrics::get().chunk_rejects.inc();
+    return;
+  }
+  const net::ChunkData& d = data.value();
+  if (d.req_id != 0) {
+    // Receipt (not acceptance) frees the sender's window slot; duplicates
+    // and rejects are acked too — integrity gaps are repair's job.
+    net::ChunkAck ack;
+    ack.req_id = d.req_id;
+    ack.transfer_id = d.transfer_id;
+    ack.digest = d.digest;
+    ack.index = d.index;
+    net::Message out;
+    out.from = self_;
+    out.to = msg.from;
+    out.type = kChunkAck;
+    out.payload = ack.encode();
+    (void)fabric_->send(std::move(out));
+  }
+  auto add = store_->blobs().add_chunk(d.digest, d.index, d.chunk_digest,
+                                       std::span<const std::uint8_t>(d.payload));
+  if (!add) {
+    if (add.code() == Errc::not_found) {
+      // No assembly state here: the transfer's begin was lost, or this is
+      // stray repair data. Dropped — repair re-pulls under a fresh partial.
+      DistMetrics::get().chunk_orphans.inc();
+    } else {
+      ++stats_.chunk_rejects;
+      DistMetrics::get().chunk_rejects.inc();
+    }
+    return;
+  }
+  if (add.value() == blob::BlobStore::ChunkAdd::duplicate) {
+    ++stats_.chunk_duplicates;
+    DistMetrics::get().chunk_duplicates.inc();
+    return;
+  }
+  ++stats_.chunks_received;
+  if (d.transfer_id == 0) return;  // repair/pull data: no relay, no transfer state
+  auto it = transfers_.find(d.transfer_id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  // Cut-through relay: this verified chunk forwards to every child now,
+  // before the next chunk arrives.
+  std::uint32_t ordinal = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint32_t i = 0; i < t.manifest.blobs.size(); ++i) {
+    if (t.manifest.blobs[i].digest == d.digest) {
+      ordinal = i;
+      break;
+    }
+  }
+  if (ordinal != std::numeric_limits<std::uint32_t>::max()) {
+    const std::uint64_t key = chunk_key(ordinal, d.index);
+    for (ChildCursor& c : t.children) c.pending.push_back(key);
+    for (ChildCursor& c : t.children) pump_cursor(d.transfer_id, c);
+  }
+  if (!t.delivered && transfer_blobs_complete(t)) deliver_transfer(d.transfer_id);
+  maybe_retire_transfer(d.transfer_id);
+}
+
+void StationNode::on_chunk_ack(const net::Message& msg) {
+  auto ack = net::ChunkAck::decode(msg.payload);
+  if (!ack) return;
+  if (!rpc_.in_flight(ack.value().req_id)) {
+    rpc_.note_duplicate();
+    return;
+  }
+  (void)rpc_.complete<std::uint64_t>(ack.value().req_id,
+                                     std::uint64_t{ack.value().index});
+}
+
+void StationNode::on_chunk_req(const net::Message& msg) {
+  auto req = net::ChunkReq::decode(msg.payload);
+  if (!req) return;
+  const net::ChunkReq& q = req.value();
+  auto& dm = DistMetrics::get();
+  std::uint32_t served = 0;
+  for (std::uint32_t index : q.indices) {
+    auto payload = store_->blobs().chunk_payload(q.digest, index, q.chunk_bytes);
+    if (!payload) continue;  // not held here — the requester walks further up
+    const std::uint32_t chunk_len =
+        payload.value().empty()
+            ? blob::chunk_size_at(q.size, index, q.chunk_bytes)
+            : static_cast<std::uint32_t>(payload.value().size());
+    if (chunk_len == 0) continue;
+    net::ChunkData d;
+    d.req_id = 0;       // repair data is unacked; the rsp summary closes the rpc
+    d.transfer_id = 0;  // not part of a push transfer: no relay downstream
+    d.digest = q.digest;
+    d.index = index;
+    d.chunk_len = chunk_len;
+    d.has_payload = !payload.value().empty();
+    d.chunk_digest = d.has_payload
+                         ? blob::real_chunk_digest(payload.value())
+                         : blob::synthetic_chunk_digest(q.digest, index);
+    if (d.has_payload) d.payload = std::move(payload).value();
+    net::Message out;
+    out.from = self_;
+    out.to = msg.from;
+    out.type = kChunkData;
+    out.payload = d.encode();
+    if (!d.has_payload) out.wire_size = d.chunk_len + 64;
+    if (!fabric_->send(std::move(out)).is_ok()) continue;
+    ++served;
+    ++stats_.chunks_sent;
+    ++stats_.chunk_repair_served;
+    stats_.chunk_bytes_sent += chunk_len;
+    dm.chunk_sent.inc();
+    dm.chunk_bytes.inc(chunk_len);
+  }
+  dm.chunk_repair_served.inc(served);
+  // FIFO links guarantee the data above lands before this summary.
+  net::ChunkRsp rsp;
+  rsp.req_id = q.req_id;
+  rsp.served = served;
+  rsp.requested = static_cast<std::uint32_t>(q.indices.size());
+  net::Message out;
+  out.from = self_;
+  out.to = msg.from;
+  out.type = kChunkRsp;
+  out.payload = rsp.encode();
+  (void)fabric_->send(std::move(out));
+}
+
+void StationNode::on_chunk_rsp(const net::Message& msg) {
+  auto rsp = net::ChunkRsp::decode(msg.payload);
+  if (!rsp) return;
+  if (!rpc_.in_flight(rsp.value().req_id)) {
+    rpc_.note_duplicate();
+    return;
+  }
+  (void)rpc_.complete<std::uint32_t>(rsp.value().req_id, rsp.value().served);
+}
+
+Status StationNode::pull_blob_chunks(BlobPull pull) {
+  auto& bs = store_->blobs();
+  if (bs.find(pull.blob.digest).has_value() || pull.blob.size == 0) {
+    pull.done(Status::ok(), fabric_->now());
+    return Status::ok();
+  }
+  // Resume an existing partial at its own geometry; otherwise open one at
+  // this node's configured chunk size.
+  const blob::BlobStore::PartialInfo* p = bs.partial(pull.blob.digest);
+  pull.chunk_bytes = p != nullptr ? p->chunk_bytes : config_.chunk.chunk_bytes;
+  WDOC_TRY(bs.begin_partial(pull.blob.digest, pull.blob.size, pull.blob.type,
+                            pull.chunk_bytes)
+               .status());
+  const std::size_t missing =
+      bs.missing_chunks(pull.blob.digest,
+                        std::numeric_limits<std::uint32_t>::max())
+          .size();
+  auto shared = std::make_shared<BlobPull>(std::move(pull));
+  return start_pull_round(std::move(shared), missing);
+}
+
+Status StationNode::start_pull_round(std::shared_ptr<BlobPull> pull,
+                                     std::size_t missing_before) {
+  const std::uint64_t req_id = (self_.value() << 24) | ++next_req_;
+  net::RpcOptions opts = pull->base;
+  // The server streams up to repair_batch chunks ahead of its summary;
+  // scale this round's deadline by that serialized burst.
+  const std::uint64_t batch =
+      std::min<std::uint64_t>(missing_before, config_.chunk.repair_batch);
+  opts.deadline += SimTime::seconds(static_cast<double>(batch) *
+                                    static_cast<double>(pull->chunk_bytes) * 8.0 /
+                                    config_.min_bandwidth_bps);
+  rpc_.track<std::uint32_t>(
+      req_id, opts,
+      [this, pull, missing_before, req_id](Result<std::uint32_t> r, SimTime t) {
+        rpc_target_.erase(req_id);
+        auto& bs = store_->blobs();
+        if (bs.find(pull->blob.digest).has_value()) {
+          pull->done(Status::ok(), t);
+          return;
+        }
+        if (!r) {
+          pull->done(r.status(), t);
+          return;
+        }
+        const std::size_t now_missing =
+            bs.missing_chunks(pull->blob.digest,
+                              std::numeric_limits<std::uint32_t>::max())
+                .size();
+        if (now_missing < missing_before) {
+          // Progress: keep pulling. The next round re-routes, so a repaired
+          // parent chain (or resurrected holder) is picked up mid-pull.
+          Status s = start_pull_round(pull, now_missing);
+          if (!s.is_ok()) pull->done(s, t);
+          return;
+        }
+        pull->done({Errc::unavailable, "chunk repair made no progress"}, t);
+      },
+      [this, pull, req_id](std::uint32_t) { return send_chunk_req(req_id, *pull); });
+  Status s = send_chunk_req(req_id, *pull);
+  if (!s.is_ok()) {
+    rpc_.cancel(req_id);
+    rpc_target_.erase(req_id);
+    return s;
+  }
+  DistMetrics::get().chunk_repair_reqs.inc();
+  return Status::ok();
+}
+
+Status StationNode::send_chunk_req(std::uint64_t req_id, const BlobPull& pull) {
+  // Route: pinned holder if given, else the nearest live ancestor, else the
+  // document's home station (the instructor always holds the full blob).
+  std::optional<StationId> target = pull.holder;
+  if (!target.has_value()) target = live_parent_station();
+  if (!target.has_value() && pull.home.value() != 0 && pull.home != self_) {
+    target = pull.home;
+  }
+  if (!target.has_value()) return {Errc::unavailable, "no route for chunk repair"};
+  auto missing =
+      store_->blobs().missing_chunks(pull.blob.digest, config_.chunk.repair_batch);
+  if (missing.empty()) return {Errc::already_exists, "no chunks missing"};
+  rpc_target_[req_id] = *target;
+  net::ChunkReq q;
+  q.req_id = req_id;
+  q.doc_key = pull.doc_key;
+  q.digest = pull.blob.digest;
+  q.size = pull.blob.size;
+  q.media_type = static_cast<std::uint8_t>(pull.blob.type);
+  q.chunk_bytes = pull.chunk_bytes;
+  q.indices = std::move(missing);
+  net::Message out;
+  out.from = self_;
+  out.to = *target;
+  out.type = kChunkReq;
+  out.payload = q.encode();
+  return fabric_->send(std::move(out));
+}
+
+Status StationNode::repair_pull(const DocManifest& manifest, FetchCallback cb,
+                                std::optional<net::RpcOptions> options) {
+  if (store_->doc(manifest.doc_key) == nullptr) {
+    WDOC_TRY(store_->put_reference(manifest));
+  }
+  if (store_->has_materialized(manifest.doc_key)) {
+    cb(manifest, fabric_->now());
+    return Status::ok();
+  }
+  auto& bs = store_->blobs();
+  std::vector<BlobRef> incomplete;
+  for (const BlobRef& b : manifest.blobs) {
+    if (b.size != 0 && !bs.find(b.digest).has_value()) incomplete.push_back(b);
+  }
+  if (incomplete.empty()) {
+    const StoredDoc* d = store_->doc(manifest.doc_key);
+    if (d != nullptr && d->form == ObjectForm::reference) {
+      WDOC_TRY(store_->materialize(manifest.doc_key, /*ephemeral=*/true));
+    }
+    cb(manifest, fabric_->now());
+    return Status::ok();
+  }
+  struct RepairState {
+    std::size_t remaining = 0;
+    Status first_error = Status::ok();
+    DocManifest manifest;
+    FetchCallback cb;
+  };
+  auto state = std::make_shared<RepairState>();
+  state->remaining = incomplete.size();
+  state->manifest = manifest;
+  state->cb = std::move(cb);
+  const net::RpcOptions base = options.value_or(config_.rpc);
+  std::size_t started = 0;
+  for (const BlobRef& b : incomplete) {
+    BlobPull pull;
+    pull.doc_key = manifest.doc_key;
+    pull.blob = b;
+    pull.home = manifest.home;
+    pull.base = base;
+    pull.done = [this, state](Status s, SimTime t) {
+      if (!s.is_ok() && state->first_error.is_ok()) state->first_error = s;
+      if (--state->remaining != 0) return;
+      auto& store_bs = store_->blobs();
+      bool complete = true;
+      for (const BlobRef& blob : state->manifest.blobs) {
+        if (blob.size != 0 && !store_bs.find(blob.digest).has_value()) {
+          complete = false;
+          break;
+        }
+      }
+      if (complete) {
+        const StoredDoc* d = store_->doc(state->manifest.doc_key);
+        if (d != nullptr && d->form == ObjectForm::reference) {
+          (void)store_->materialize(state->manifest.doc_key, /*ephemeral=*/true);
+        }
+        state->cb(state->manifest, t);
+        return;
+      }
+      Status err = state->first_error.is_ok()
+                       ? Status{Errc::unavailable, "repair incomplete"}
+                       : state->first_error;
+      state->cb(Result<DocManifest>(err.error()), t);
+    };
+    Status s = pull_blob_chunks(std::move(pull));
+    if (!s.is_ok()) {
+      // Account the failed start without firing cb from inside the loop.
+      if (state->first_error.is_ok()) state->first_error = s;
+      --state->remaining;
+      continue;
+    }
+    ++started;
+  }
+  if (started == 0) {
+    return state->first_error.is_ok()
+               ? Status{Errc::unavailable, "repair could not start"}
+               : state->first_error;
+  }
   return Status::ok();
 }
 
@@ -370,6 +975,16 @@ void StationNode::on_message(const net::Message& msg) {
     on_blob_req(msg);
   } else if (msg.type == kBlobRsp) {
     on_blob_rsp(msg);
+  } else if (msg.type == kChunkBegin) {
+    on_chunk_begin(msg);
+  } else if (msg.type == kChunkData) {
+    on_chunk_data(msg);
+  } else if (msg.type == kChunkAck) {
+    on_chunk_ack(msg);
+  } else if (msg.type == kChunkReq) {
+    on_chunk_req(msg);
+  } else if (msg.type == kChunkRsp) {
+    on_chunk_rsp(msg);
   } else if (msg.type == net::kMetricsRequest) {
     on_scrape_req(msg);
   } else if (msg.type == net::kMetricsResponse) {
@@ -681,6 +1296,28 @@ Status StationNode::fetch_blob_rpc(StationId holder, const std::string& doc_key,
     cb(blob, fabric_->now());
     return Status::ok();
   }
+  // Large blobs (and blobs already partially assembled) stream at chunk
+  // granularity from the pinned holder — an interrupted fetch resumes from
+  // the bitmap instead of restarting the whole transfer.
+  if (config_.chunk.enabled &&
+      (blob.size > config_.chunk.chunk_bytes ||
+       store_->blobs().partial(blob.digest) != nullptr)) {
+    BlobPull pull;
+    pull.doc_key = doc_key;
+    pull.blob = blob;
+    pull.holder = holder;
+    pull.home = holder;
+    pull.base = options.value_or(config_.rpc);
+    BlobRef want = blob;
+    pull.done = [cb = std::move(cb), want](Status s, SimTime t) {
+      if (s.is_ok()) {
+        cb(want, t);
+      } else {
+        cb(Result<BlobRef>(s.error()), t);
+      }
+    };
+    return pull_blob_chunks(std::move(pull));
+  }
   net::RpcOptions opts = options.value_or(config_.rpc);
   // The payload serializes on both endpoints' links; give each attempt room
   // for the transfer itself on the slowest link this cluster models.
@@ -791,6 +1428,12 @@ obs::Snapshot StationNode::local_snapshot() const {
   };
   const net::RpcStats rpc = rpc_.stats();
   counter("station.blob_serves", stats_.blob_serves);
+  counter("station.chunk_duplicates", stats_.chunk_duplicates);
+  counter("station.chunk_rejects", stats_.chunk_rejects);
+  counter("station.chunk_repair_served", stats_.chunk_repair_served);
+  counter("station.chunk_retransmits", stats_.chunk_retransmits);
+  counter("station.chunks_received", stats_.chunks_received);
+  counter("station.chunks_sent", stats_.chunks_sent);
   counter("station.demotions", stats_.demotions);
   counter("station.failed_fetches", stats_.failed_fetches);
   counter("station.failovers", stats_.failovers);

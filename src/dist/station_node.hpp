@@ -31,16 +31,33 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <type_traits>
 
 #include "dist/mtree.hpp"
 #include "dist/object_store.hpp"
+#include "net/chunk_wire.hpp"
 #include "net/fabric.hpp"
 #include "net/rpc.hpp"
 #include "obs/scrape.hpp"
 
 namespace wdoc::dist {
+
+// Knobs of the chunked cut-through push/pull paths. A push splits every
+// BLOB into `chunk_bytes` chunks; an interior station relays chunk k to its
+// children as soon as it verifies, holding at most `window` unacked chunks
+// in flight per child (each one an rpc with a deadline and retry budget).
+// Pull-side repair requests at most `repair_batch` missing indices per
+// round. `enabled = false` falls back to whole-manifest store-and-forward.
+struct ChunkConfig {
+  bool enabled = true;
+  std::uint32_t chunk_bytes = 256 * 1024;
+  std::uint32_t window = 32;
+  std::uint32_t repair_batch = 64;
+
+  [[nodiscard]] Status validate() const;
+};
 
 // All of a station's protocol knobs in one validated place: replication
 // behavior plus the rpc lifecycle every remote operation runs under.
@@ -65,6 +82,8 @@ struct StationConfig {
   double min_bandwidth_bps = 1e6;
   // Seed for the rpc tracker's deterministic backoff jitter.
   std::uint64_t rpc_seed = 0x77d0c;
+  // Chunked transfer knobs (push pipelining, windowing, chunk repair).
+  ChunkConfig chunk;
 
   [[nodiscard]] Status validate() const;
 };
@@ -87,6 +106,14 @@ struct NodeStats {
   std::uint64_t failed_fetches = 0;
   std::uint64_t failovers = 0;        // peers this node declared dead
   std::uint64_t resurrections = 0;    // declared-dead peers heard from again
+  // Chunked transfer path:
+  std::uint64_t chunks_sent = 0;         // data chunks sent (push + repair)
+  std::uint64_t chunks_received = 0;     // chunks verified into partial assembly
+  std::uint64_t chunk_duplicates = 0;    // already-held chunks received again
+  std::uint64_t chunk_rejects = 0;       // failed digest/bounds verification
+  std::uint64_t chunk_retransmits = 0;   // rpc-retry resends of a pushed chunk
+  std::uint64_t chunk_repair_served = 0; // chunks served to pull requests
+  std::uint64_t chunk_bytes_sent = 0;    // payload bytes across chunk sends
 };
 
 class StationNode {
@@ -133,8 +160,16 @@ class StationNode {
 
   // --- instructor side ------------------------------------------------------
   // Root of a multicast: stores a persistent instance (if not already held)
-  // and pushes down the tree. Children receive ephemeral copies.
+  // and pushes down the tree. Children receive ephemeral copies. With
+  // config().chunk.enabled (the default) the push is chunked and pipelined:
+  // interior stations relay each verified chunk before the next arrives, so
+  // makespan approaches blob_time + depth * chunk_time instead of
+  // depth * blob_time. Disabled, it is the historical whole-manifest
+  // store-and-forward push.
   [[nodiscard]] Status broadcast_push(const DocManifest& manifest);
+  // The pre-chunking store-and-forward push, kept callable for A/B
+  // comparison (bench_prebroadcast, the pipelining regression test).
+  [[nodiscard]] Status broadcast_push_store_forward(const DocManifest& manifest);
 
   // "References to the instance are broadcasted and stored in many remote
   // stations" (§4): multicasts a reference record (manifest only, tiny wire
@@ -175,6 +210,17 @@ class StationNode {
   [[nodiscard]] Status fetch_blob_rpc(StationId holder, const std::string& doc_key,
                                       const BlobRef& blob, BlobFetchCallback cb,
                                       std::optional<net::RpcOptions> options = std::nullopt);
+
+  // Chunk-granularity anti-entropy: ensures a local reference, then pulls
+  // only the chunks of the manifest's blobs this station is missing (up the
+  // live parent chain, falling back to the manifest home), and materializes
+  // an ephemeral instance once every blob is complete. A station whose push
+  // was partially lost re-transfers kilobytes, not whole BLOBs. `cb` fires
+  // exactly once: with the manifest after materialization, or with the
+  // first terminal error of the round (partial progress is kept — the next
+  // repair round continues from the bitmap).
+  [[nodiscard]] Status repair_pull(const DocManifest& manifest, FetchCallback cb,
+                                   std::optional<net::RpcOptions> options = std::nullopt);
 
   // Post-lecture migration: every ephemeral instance demotes to a
   // reference; returns reclaimable bytes (after the BlobStore gc).
@@ -217,7 +263,11 @@ class StationNode {
   [[nodiscard]] const StationConfig& config() const { return config_; }
   void set_watermark(std::uint64_t w) { config_.watermark = w; }
 
-  // Message type tags (public for tests).
+  // Chunked transfers (push) still assembling here, including fully-received
+  // ones whose children have unacked chunks in flight.
+  [[nodiscard]] std::size_t active_transfers() const { return transfers_.size(); }
+
+  // Message type tags (public for tests). Chunk tags live in net/chunk_wire.hpp.
   static constexpr const char* kPush = "dist.push";
   static constexpr const char* kRefAnnounce = "dist.ref";
   static constexpr const char* kFetchReq = "dist.fetch_req";
@@ -225,6 +275,11 @@ class StationNode {
   static constexpr const char* kFetchErr = "dist.fetch_err";
   static constexpr const char* kBlobReq = "dist.blob_req";
   static constexpr const char* kBlobRsp = "dist.blob_rsp";
+  static constexpr const char* kChunkBegin = net::kChunkBegin;
+  static constexpr const char* kChunkData = net::kChunkData;
+  static constexpr const char* kChunkAck = net::kChunkAck;
+  static constexpr const char* kChunkReq = net::kChunkReq;
+  static constexpr const char* kChunkRsp = net::kChunkRsp;
 
  private:
   void on_message(const net::Message& msg);
@@ -235,6 +290,11 @@ class StationNode {
   void on_fetch_err(const net::Message& msg);
   void on_blob_req(const net::Message& msg);
   void on_blob_rsp(const net::Message& msg);
+  void on_chunk_begin(const net::Message& msg);
+  void on_chunk_data(const net::Message& msg);
+  void on_chunk_ack(const net::Message& msg);
+  void on_chunk_req(const net::Message& msg);
+  void on_chunk_rsp(const net::Message& msg);
   void on_scrape_req(const net::Message& msg);
   void on_scrape_rsp(const net::Message& msg);
 
@@ -250,6 +310,56 @@ class StationNode {
   void note_attempt_timeout(StationId target);
   void declare_dead(StationId target);
   void note_alive(StationId from);
+
+  // --- chunked push ---------------------------------------------------------
+  // Per-child relay state of one transfer: chunks not yet sent (in arrival
+  // order — the cut-through queue) and the bounded in-flight window, each
+  // slot an rpc waiting on its ChunkAck.
+  struct ChildCursor {
+    StationId child;
+    std::deque<std::uint64_t> pending;                 // (blob_ordinal<<32)|index
+    std::map<std::uint64_t, std::uint64_t> in_flight;  // chunk key -> rpc req_id
+  };
+  struct Transfer {
+    DocManifest manifest;
+    std::uint32_t chunk_bytes = 0;
+    std::uint64_t total_chunks = 0;
+    bool delivered = false;  // local instance materialized
+    std::vector<ChildCursor> children;
+    std::uint64_t span = 0;  // trace span covering this hop of the multicast
+  };
+
+  [[nodiscard]] Status start_chunked_push(const DocManifest& manifest);
+  // Forwards the transfer's begin to this node's tree children and creates
+  // their cursors; enqueues every locally-held chunk (cut-through for the
+  // rest happens as chunks verify in on_chunk_data).
+  void open_transfer_children(std::uint64_t transfer_id, Transfer& t);
+  void enqueue_held_chunks(Transfer& t, ChildCursor& cursor);
+  void pump_cursor(std::uint64_t transfer_id, ChildCursor& cursor);
+  [[nodiscard]] Status send_chunk(std::uint64_t transfer_id, const Transfer& t,
+                                  StationId child, std::uint64_t key,
+                                  std::uint64_t req_id, bool retransmit);
+  [[nodiscard]] bool transfer_blobs_complete(const Transfer& t) const;
+  void deliver_transfer(std::uint64_t transfer_id);
+  void maybe_retire_transfer(std::uint64_t transfer_id);
+
+  // --- chunked pull / repair ------------------------------------------------
+  // One blob's pull loop: request up to repair_batch missing chunks per
+  // round from `holder` (or the live parent chain / `home` when unset),
+  // repeat while rounds make progress, finish via `done`.
+  struct BlobPull {
+    std::string doc_key;
+    BlobRef blob;
+    std::optional<StationId> holder;
+    StationId home;
+    std::uint32_t chunk_bytes = 0;
+    net::RpcOptions base;
+    std::function<void(Status, SimTime)> done;
+  };
+  [[nodiscard]] Status pull_blob_chunks(BlobPull pull);
+  [[nodiscard]] Status start_pull_round(std::shared_ptr<BlobPull> pull,
+                                        std::size_t missing_before);
+  [[nodiscard]] Status send_chunk_req(std::uint64_t req_id, const BlobPull& pull);
 
   // Starts pending-scrape state for `req_id` and fans the request to this
   // node's tree children; completes immediately at a leaf.
@@ -277,6 +387,9 @@ class StationNode {
   std::map<StationId, std::uint32_t> suspect_;
   std::set<StationId> dead_;
   std::map<std::uint64_t, StationId> rpc_target_;
+
+  // Chunked push transfers in flight (keyed by transfer id).
+  std::map<std::uint64_t, Transfer> transfers_;
 
   // Hierarchical scrape in flight: requesters waiting on the merge (a retry
   // of an in-flight req_id registers as an extra waiter, never a second

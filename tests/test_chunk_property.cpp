@@ -1,0 +1,252 @@
+// Property tests for chunked BLOB reassembly (blob/chunk.hpp + the
+// BlobStore's partial-assembly state).
+//
+// Invariant under test: for ANY delivery schedule — chunks shuffled out of
+// order, duplicated, dropped, or corrupted — the store either reassembles
+// exactly the original bytes (digest-verified promotion) or reports the
+// blob incomplete. It never accepts a wrong-hash blob.
+//
+// The sweep is seeded and ordered smallest-first (chunk count, then chunk
+// size, then payload size), so the first failing configuration printed is
+// already the minimal counterexample of the sweep.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "blob/blob_store.hpp"
+#include "common/rng.hpp"
+
+namespace wdoc::blob {
+namespace {
+
+Bytes deterministic_payload(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform(256));
+  return out;
+}
+
+struct Delivery {
+  std::uint32_t index;
+  bool corrupt_digest = false;  // flip the chunk digest: must be rejected
+  bool corrupt_payload = false; // flip a payload byte: must be rejected
+};
+
+// One randomized round: build a schedule (shuffle + duplicates + drops +
+// corruptions) and feed it to a fresh store.
+void run_schedule(std::uint64_t seed, std::size_t payload_size,
+                  std::uint32_t chunk_bytes) {
+  SCOPED_TRACE("seed=" + std::to_string(seed) +
+               " payload=" + std::to_string(payload_size) +
+               " chunk_bytes=" + std::to_string(chunk_bytes));
+  Rng rng(seed);
+  Bytes payload = deterministic_payload(rng, payload_size);
+  const Digest128 digest = digest128(payload);
+  const std::uint32_t total = static_cast<std::uint32_t>(
+      chunk_count(payload.size(), chunk_bytes));
+  ASSERT_GT(total, 0u);
+
+  BlobStore store;
+  ASSERT_TRUE(store.begin_partial(digest, payload.size(), MediaType::video,
+                                  chunk_bytes)
+                  .expect("begin"));
+
+  // Schedule: every index once, shuffled; ~30% duplicated; ~20% dropped;
+  // ~15% delivered corrupted (on top of, not instead of, a clean copy).
+  std::vector<Delivery> schedule;
+  std::vector<std::uint32_t> order(total);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.uniform(i)]);
+  }
+  std::vector<bool> dropped(total, false);
+  for (std::uint32_t idx : order) {
+    const bool drop = rng.uniform(100) < 20;
+    dropped[idx] = drop;
+    if (rng.uniform(100) < 15) {
+      Delivery evil{idx};
+      if (rng.uniform(2) == 0) {
+        evil.corrupt_digest = true;
+      } else {
+        evil.corrupt_payload = true;
+      }
+      schedule.push_back(evil);
+    }
+    if (!drop) {
+      schedule.push_back({idx});
+      if (rng.uniform(100) < 30) schedule.push_back({idx, false, false});
+    }
+  }
+
+  std::uint64_t rejects = 0;
+  for (const Delivery& d : schedule) {
+    const std::uint64_t off = chunk_offset(d.index, chunk_bytes);
+    const std::uint64_t len = chunk_size_at(payload.size(), d.index, chunk_bytes);
+    Bytes piece(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+    // The digest always describes the sender's (clean) bytes; payload
+    // corruption happens in flight, after the digest was computed.
+    Digest128 cd = digest128(piece);
+    if (d.corrupt_payload) piece[rng.uniform(piece.size())] ^= 0x5a;
+    if (d.corrupt_digest) cd.lo ^= 1;
+    auto r = store.add_chunk(digest, d.index, cd, piece);
+    if (d.corrupt_digest || d.corrupt_payload) {
+      // A corrupted delivery may only ever be rejected or (if the clean
+      // copy landed first and completed the blob / set the bit) reported
+      // as duplicate of verified data. Sneaking bad bytes in is the bug.
+      if (r.is_ok()) {
+        EXPECT_EQ(r.value(), BlobStore::ChunkAdd::duplicate);
+      } else {
+        EXPECT_EQ(r.code(), Errc::corrupt);
+        ++rejects;
+      }
+      continue;
+    }
+    ASSERT_TRUE(r.is_ok()) << r.message();
+  }
+
+  const bool all_delivered =
+      std::none_of(dropped.begin(), dropped.end(), [](bool d) { return d; });
+  auto found = store.find(digest);
+  if (all_delivered) {
+    // Complete delivery must promote to a real store entry with the
+    // original bytes, regardless of order/duplicates/corrupt copies.
+    ASSERT_TRUE(found.has_value());
+    auto data = store.get(*found);
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_TRUE(std::equal(data.value().begin(), data.value().end(),
+                           payload.begin(), payload.end()));
+    EXPECT_EQ(store.partial(digest), nullptr);
+  } else {
+    // Incomplete must stay incomplete — and say exactly which chunks are
+    // missing so repair can request them.
+    EXPECT_FALSE(found.has_value());
+    auto missing = store.missing_chunks(digest, total);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < total; ++i) {
+      if (dropped[i]) expected.push_back(i);
+    }
+    EXPECT_EQ(missing, expected);
+    // Feeding the missing chunks afterwards completes it (repair path).
+    for (std::uint32_t idx : expected) {
+      const std::uint64_t off = chunk_offset(idx, chunk_bytes);
+      const std::uint64_t len = chunk_size_at(payload.size(), idx, chunk_bytes);
+      Bytes piece(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                  payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+      ASSERT_TRUE(store.add_chunk(digest, idx, digest128(piece), piece).is_ok());
+    }
+    ASSERT_TRUE(store.find(digest).has_value());
+  }
+  (void)rejects;
+}
+
+TEST(ChunkProperty, GeometryHelpersPartitionTheBlob) {
+  for (std::uint64_t size : {1ull, 7ull, 4096ull, 4097ull, 1048576ull}) {
+    for (std::uint32_t cb : {1u, 7u, 256u, 4096u}) {
+      const std::uint64_t total = chunk_count(size, cb);
+      EXPECT_EQ(total, (size + cb - 1) / cb);
+      std::uint64_t covered = 0;
+      for (std::uint32_t i = 0; i < total; ++i) {
+        EXPECT_EQ(chunk_offset(i, cb), static_cast<std::uint64_t>(i) * cb);
+        covered += chunk_size_at(size, i, cb);
+      }
+      EXPECT_EQ(covered, size) << size << "/" << cb;
+      EXPECT_EQ(chunk_size_at(size, static_cast<std::uint32_t>(total), cb), 0u);
+    }
+  }
+  EXPECT_EQ(chunk_count(0, 4096), 0u);
+  EXPECT_EQ(chunk_count(4096, 0), 0u);
+}
+
+// The shrinking sweep: smallest configurations first, many seeds each. A
+// regression fails earliest at its minimal (chunk count, chunk size) pair.
+TEST(ChunkProperty, RandomSchedulesReassembleOrReportIncomplete) {
+  struct Config {
+    std::size_t payload;
+    std::uint32_t chunk_bytes;
+  };
+  const Config sweep[] = {
+      {1, 1},      {2, 1},     {3, 2},      {7, 3},       {16, 4},
+      {65, 16},    {256, 16},  {1000, 64},  {4096, 256},  {4097, 256},
+      {10000, 512}, {65536, 4096},
+  };
+  for (const Config& cfg : sweep) {
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+      run_schedule(seed * 1000003, cfg.payload, cfg.chunk_bytes);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(ChunkProperty, WrongWholeBlobHashNeverPromotes) {
+  // Chunks that individually verify but don't hash to the declared blob
+  // digest (a malicious sender inventing self-consistent chunks) must be
+  // rejected at promotion, resetting the partial instead of accepting.
+  Rng rng(99);
+  Bytes real = deterministic_payload(rng, 1000);
+  Bytes fake = real;
+  fake[500] ^= 0xff;
+  const Digest128 claimed = digest128(real);
+  const std::uint32_t cb = 256;
+  BlobStore store;
+  ASSERT_TRUE(store.begin_partial(claimed, fake.size(), MediaType::other, cb)
+                  .expect("begin"));
+  const std::uint32_t total =
+      static_cast<std::uint32_t>(chunk_count(fake.size(), cb));
+  Result<BlobStore::ChunkAdd> last{BlobStore::ChunkAdd::accepted};
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint64_t off = chunk_offset(i, cb);
+    const std::uint64_t len = chunk_size_at(fake.size(), i, cb);
+    Bytes piece(fake.begin() + static_cast<std::ptrdiff_t>(off),
+                fake.begin() + static_cast<std::ptrdiff_t>(off + len));
+    last = store.add_chunk(claimed, i, digest128(piece), piece);
+  }
+  // The final chunk triggers whole-blob verification, which must fail...
+  EXPECT_FALSE(last.is_ok());
+  EXPECT_EQ(last.code(), Errc::corrupt);
+  // ...without registering the forged bytes.
+  EXPECT_FALSE(store.find(claimed).has_value());
+  // The partial survives (reset), so an honest sender can still complete it.
+  ASSERT_NE(store.partial(claimed), nullptr);
+  EXPECT_EQ(store.missing_chunks(claimed, total).size(), total);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    const std::uint64_t off = chunk_offset(i, cb);
+    const std::uint64_t len = chunk_size_at(real.size(), i, cb);
+    Bytes piece(real.begin() + static_cast<std::ptrdiff_t>(off),
+                real.begin() + static_cast<std::ptrdiff_t>(off + len));
+    ASSERT_TRUE(store.add_chunk(claimed, i, digest128(piece), piece).is_ok());
+  }
+  EXPECT_TRUE(store.find(claimed).has_value());
+}
+
+TEST(ChunkProperty, SyntheticChunksAssembleSizeOnlyBlobs) {
+  // Simulation-scale blobs: no payload bytes, synthetic per-chunk digests.
+  const Digest128 digest = digest128("synthetic 10MB video");
+  const std::uint64_t size = 10 << 20;
+  const std::uint32_t cb = 256 * 1024;
+  const std::uint32_t total = static_cast<std::uint32_t>(chunk_count(size, cb));
+  BlobStore store;
+  ASSERT_TRUE(store.begin_partial(digest, size, MediaType::video, cb).expect("begin"));
+  // Wrong synthetic digest rejected.
+  auto bad = store.add_chunk(digest, 0, synthetic_chunk_digest(digest, 1), {});
+  EXPECT_EQ(bad.code(), Errc::corrupt);
+  // Out-of-range index rejected.
+  auto oob = store.add_chunk(digest, total, synthetic_chunk_digest(digest, total), {});
+  EXPECT_EQ(oob.code(), Errc::corrupt);
+  for (std::uint32_t i = 0; i < total; ++i) {
+    auto r = store.add_chunk(digest, i, synthetic_chunk_digest(digest, i), {});
+    ASSERT_TRUE(r.is_ok()) << i << ": " << r.message();
+    EXPECT_EQ(r.value(), i + 1 == total ? BlobStore::ChunkAdd::completed
+                                        : BlobStore::ChunkAdd::accepted);
+  }
+  auto found = store.find(digest);
+  ASSERT_TRUE(found.has_value());
+  const BlobInfo* info = store.info(*found);
+  ASSERT_NE(info, nullptr);
+  EXPECT_EQ(info->size, size);
+  EXPECT_FALSE(info->resident);
+  EXPECT_EQ(info->refs, 0u);  // buffer space until an instance claims it
+}
+
+}  // namespace
+}  // namespace wdoc::blob

@@ -10,6 +10,7 @@
 #include "dist/doc_object.hpp"
 #include "docmodel/annotation_ops.hpp"
 #include "docmodel/traversal.hpp"
+#include "net/chunk_wire.hpp"
 #include "storage/wal.hpp"
 #include "workload/patterns.hpp"
 
@@ -89,6 +90,112 @@ TEST(DecodeFuzz, DocManifest) {
       3);
   Reader r(valid);
   EXPECT_EQ(dist::DocManifest::deserialize(r).expect("valid"), manifest);
+}
+
+TEST(DecodeFuzz, ChunkBegin) {
+  net::ChunkBegin begin;
+  begin.transfer_id = 0xabcdef01;
+  begin.chunk_bytes = 256 * 1024;
+  begin.manifest = Bytes{1, 2, 3, 4, 5, 6, 7, 8};
+  fuzz_decoder(
+      begin.encode(),
+      [](const Bytes& b) { return net::ChunkBegin::decode(b).is_ok(); }, 10);
+  // Zero and oversized chunk sizes are rejected even when well-formed.
+  for (std::uint32_t bad : {0u, net::kMaxWireChunkBytes + 1, 0xffffffffu}) {
+    net::ChunkBegin evil = begin;
+    evil.chunk_bytes = bad;
+    EXPECT_FALSE(net::ChunkBegin::decode(evil.encode()).is_ok()) << bad;
+  }
+  auto ok = net::ChunkBegin::decode(begin.encode()).expect("valid");
+  EXPECT_EQ(ok.transfer_id, begin.transfer_id);
+  EXPECT_EQ(ok.manifest, begin.manifest);
+}
+
+TEST(DecodeFuzz, ChunkData) {
+  net::ChunkData d;
+  d.req_id = 77;
+  d.transfer_id = 99;
+  d.digest = digest128("blob");
+  d.index = 3;
+  d.payload = Bytes{9, 8, 7, 6, 5};
+  d.chunk_len = static_cast<std::uint32_t>(d.payload.size());
+  d.has_payload = true;
+  d.chunk_digest = digest128(d.payload);
+  fuzz_decoder(
+      d.encode(), [](const Bytes& b) { return net::ChunkData::decode(b).is_ok(); },
+      11);
+  // Synthetic (size-only) variant fuzzes too.
+  net::ChunkData synth = d;
+  synth.has_payload = false;
+  synth.payload.clear();
+  synth.chunk_len = 4096;
+  fuzz_decoder(
+      synth.encode(),
+      [](const Bytes& b) { return net::ChunkData::decode(b).is_ok(); }, 12);
+  // A declared length that disagrees with the payload must not decode.
+  net::ChunkData lying = d;
+  lying.chunk_len = 4;  // payload is 5 bytes
+  EXPECT_FALSE(net::ChunkData::decode(lying.encode()).is_ok());
+  // Oversized declared lengths are rejected before any allocation.
+  net::ChunkData huge = synth;
+  huge.chunk_len = net::kMaxWireChunkBytes + 1;
+  EXPECT_FALSE(net::ChunkData::decode(huge.encode()).is_ok());
+}
+
+TEST(DecodeFuzz, ChunkAck) {
+  net::ChunkAck ack;
+  ack.req_id = 55;
+  ack.transfer_id = 66;
+  ack.digest = digest128("blob");
+  ack.index = 12;
+  fuzz_decoder(
+      ack.encode(), [](const Bytes& b) { return net::ChunkAck::decode(b).is_ok(); },
+      13);
+  auto ok = net::ChunkAck::decode(ack.encode()).expect("valid");
+  EXPECT_EQ(ok.req_id, ack.req_id);
+  EXPECT_EQ(ok.index, ack.index);
+}
+
+TEST(DecodeFuzz, ChunkReq) {
+  net::ChunkReq req;
+  req.req_id = 123;
+  req.doc_key = "http://mmu.edu/CS101";
+  req.digest = digest128("blob");
+  req.size = 10 << 20;
+  req.media_type = 2;
+  req.chunk_bytes = 256 * 1024;
+  req.indices = {0, 3, 17, 40};
+  fuzz_decoder(
+      req.encode(), [](const Bytes& b) { return net::ChunkReq::decode(b).is_ok(); },
+      14);
+  // A hostile index count larger than the remaining bytes must not drive a
+  // reservation (Reader::count guards min element width).
+  Writer w;
+  w.u64(1);
+  w.str("k");
+  w.u64(0);
+  w.u64(0);
+  w.u64(100);
+  w.u8(0);
+  w.u32(1024);
+  w.u32(0xffffffffu);  // claims 4 billion indices, provides none
+  EXPECT_FALSE(net::ChunkReq::decode(w.take()).is_ok());
+  auto ok = net::ChunkReq::decode(req.encode()).expect("valid");
+  EXPECT_EQ(ok.indices, req.indices);
+  EXPECT_EQ(ok.doc_key, req.doc_key);
+}
+
+TEST(DecodeFuzz, ChunkRsp) {
+  net::ChunkRsp rsp;
+  rsp.req_id = 9;
+  rsp.served = 5;
+  rsp.requested = 8;
+  fuzz_decoder(
+      rsp.encode(), [](const Bytes& b) { return net::ChunkRsp::decode(b).is_ok(); },
+      15);
+  auto ok = net::ChunkRsp::decode(rsp.encode()).expect("valid");
+  EXPECT_EQ(ok.served, rsp.served);
+  EXPECT_EQ(ok.requested, rsp.requested);
 }
 
 TEST(DecodeFuzz, WalRecord) {

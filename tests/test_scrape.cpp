@@ -24,21 +24,32 @@ double station_sample(const obs::Snapshot& snap, const std::string& name,
 }
 
 constexpr const char* kCounters[] = {
-    "station.blob_serves",   "station.demotions",       "station.failed_fetches",
-    "station.failovers",     "station.fetches_local",   "station.fetches_remote",
-    "station.forwards_up",   "station.pushes_forwarded", "station.pushes_received",
-    "station.relays",        "station.replications",    "station.resurrections",
-    "station.rpc_exhausted", "station.rpc_retries",     "station.rpc_timeouts",
-    "station.serves",
+    "station.blob_serves",        "station.chunk_duplicates",
+    "station.chunk_rejects",      "station.chunk_repair_served",
+    "station.chunk_retransmits",  "station.chunks_received",
+    "station.chunks_sent",        "station.demotions",
+    "station.failed_fetches",     "station.failovers",
+    "station.fetches_local",      "station.fetches_remote",
+    "station.forwards_up",        "station.pushes_forwarded",
+    "station.pushes_received",    "station.relays",
+    "station.replications",       "station.resurrections",
+    "station.rpc_exhausted",      "station.rpc_retries",
+    "station.rpc_timeouts",       "station.serves",
 };
 
-// Samples per station in local_snapshot(): the 16 counters above + 2 gauges.
-constexpr std::size_t kSamplesPerStation = 18;
+// Samples per station in local_snapshot(): the 22 counters above + 2 gauges.
+constexpr std::size_t kSamplesPerStation = 24;
 
 std::uint64_t stat_by_name(const StationNode& node, std::string_view name) {
   const NodeStats& st = node.stats();
   const net::RpcStats rpc = node.rpc_stats();
   if (name == "station.blob_serves") return st.blob_serves;
+  if (name == "station.chunk_duplicates") return st.chunk_duplicates;
+  if (name == "station.chunk_rejects") return st.chunk_rejects;
+  if (name == "station.chunk_repair_served") return st.chunk_repair_served;
+  if (name == "station.chunk_retransmits") return st.chunk_retransmits;
+  if (name == "station.chunks_received") return st.chunks_received;
+  if (name == "station.chunks_sent") return st.chunks_sent;
   if (name == "station.demotions") return st.demotions;
   if (name == "station.failed_fetches") return st.failed_fetches;
   if (name == "station.failovers") return st.failovers;
