@@ -1,0 +1,110 @@
+// Standalone HTTP gateway over a seeded virtual-library catalog: the binary
+// behind the README curl walkthrough and the CI gateway smoke job. Serves
+// until POST /admin/quit (or SIGINT/SIGTERM).
+//
+//   http_gateway [--port=8080] [--courses=500] [--seed=1]
+//                [--workers=8] [--metrics-json=<path>]
+//
+// With --port=0 an ephemeral port is chosen and printed, which is what the
+// smoke job scrapes.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "http/gateway.hpp"
+#include "http/server.hpp"
+#include "obs/metrics.hpp"
+#include "storage/database.hpp"
+#include "workload/library_corpus.hpp"
+
+using namespace wdoc;
+
+namespace {
+
+std::atomic<bool> g_signalled{false};
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name, std::uint64_t fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::strtoull(argv[i] + prefix.size(), nullptr, 10);
+    }
+  }
+  return fallback;
+}
+
+std::string flag_str(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::LibraryCorpusConfig corpus_cfg;
+  corpus_cfg.courses = flag_u64(argc, argv, "courses", 500);
+  corpus_cfg.seed = flag_u64(argc, argv, "seed", 1);
+  const auto port = static_cast<std::uint16_t>(flag_u64(argc, argv, "port", 8080));
+  const std::size_t workers = flag_u64(argc, argv, "workers", 8);
+  const std::string metrics_path = flag_str(argc, argv, "metrics-json");
+
+  auto entries = workload::library_corpus(corpus_cfg);
+  std::vector<library::VirtualLibrary> shards(corpus_cfg.shards);
+  workload::populate_shards(shards, entries, corpus_cfg);
+  auto db = storage::Database::in_memory();
+  http::StorageDocumentSource docs(*db);
+  for (const auto& e : entries) {
+    docs.put(e.course_number, workload::course_document(e)).expect("put doc");
+  }
+  std::vector<library::VirtualLibrary*> shard_ptrs;
+  for (auto& s : shards) shard_ptrs.push_back(&s);
+  http::Gateway gateway(http::GatewayConfig{}, shard_ptrs, &docs);
+
+  http::ServerConfig server_cfg;
+  server_cfg.port = port;
+  server_cfg.workers = workers;
+  http::HttpServer server(server_cfg,
+                          [&](const http::Request& req) { return gateway.handle(req); });
+  server.start().expect("server start");
+
+  std::signal(SIGINT, [](int) { g_signalled.store(true); });
+  std::signal(SIGTERM, [](int) { g_signalled.store(true); });
+
+  std::printf("wdoc gateway: %zu courses on %zu library shards\n", corpus_cfg.courses,
+              corpus_cfg.shards);
+  std::printf("listening on http://127.0.0.1:%u\n", server.port());
+  std::printf("try:\n");
+  std::printf("  curl 'http://127.0.0.1:%u/search?q=distributed+database&limit=5'\n",
+              server.port());
+  std::printf("  curl -X POST 'http://127.0.0.1:%u/check-out?course=%s&student=42'\n",
+              server.port(), entries.front().course_number.c_str());
+  std::printf("  curl 'http://127.0.0.1:%u/doc?course=%s'\n", server.port(),
+              entries.front().course_number.c_str());
+  std::printf("  curl -X POST 'http://127.0.0.1:%u/admin/quit'\n", server.port());
+  std::fflush(stdout);
+
+  while (!gateway.quit_requested() && !g_signalled.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+
+  if (!metrics_path.empty()) {
+    if (obs::write_json_file(metrics_path)) {
+      std::printf("metrics snapshot written to %s\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write metrics to %s\n",
+                   metrics_path.c_str());
+    }
+  }
+  std::printf("gateway stopped\n");
+  return 0;
+}

@@ -1,0 +1,289 @@
+#include "http/gateway.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "storage/database.hpp"
+#include "storage/query.hpp"
+
+namespace wdoc::http {
+
+namespace {
+
+constexpr const char* kDocTable = "wd_document";
+
+int status_of(const Status& s) {
+  if (s.is_ok()) return 200;
+  switch (s.error().code) {
+    case Errc::not_found: return 404;
+    case Errc::already_exists:
+    case Errc::conflict: return 409;
+    case Errc::invalid_argument: return 400;
+    case Errc::unsupported: return 501;
+    default: return 500;
+  }
+}
+
+Response error_json(int status, std::string_view detail) {
+  return Response::json(status, "{\"error\":\"" + json_escape(detail) + "\"}");
+}
+
+// Scores are doubles; render with fixed precision so identical rankings
+// serialize byte-identically across runs and platforms.
+std::string format_score(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+std::int64_t now_micros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// --- StorageDocumentSource --------------------------------------------------
+
+StorageDocumentSource::StorageDocumentSource(storage::Database& db) : db_(&db) {
+  if (!db.catalog().has_table(kDocTable)) {
+    using storage::Column;
+    using storage::ValueType;
+    storage::Schema schema(kDocTable,
+                           {Column{"course_number", ValueType::text, false, false, false},
+                            Column{"body", ValueType::text}},
+                           /*primary_key=*/"course_number");
+    db.create_table(std::move(schema)).expect("create wd_document");
+  }
+}
+
+Status StorageDocumentSource::put(const std::string& course_number,
+                                  const std::string& body) {
+  using storage::Value;
+  std::lock_guard lock(mu_);
+  auto existing = db_->query(kDocTable).where_eq("course_number", Value(course_number)).first();
+  WDOC_TRY(existing.status());
+  if (existing.value().has_value()) {
+    return db_->update(kDocTable, existing.value()->id,
+                       {Value(course_number), Value(body)});
+  }
+  return db_->insert(kDocTable, {Value(course_number), Value(body)}).status();
+}
+
+Result<std::string> StorageDocumentSource::fetch(const std::string& course_number) {
+  using storage::Value;
+  std::lock_guard lock(mu_);
+  auto row = db_->query(kDocTable).where_eq("course_number", Value(course_number)).first();
+  WDOC_TRY(row.status());
+  if (!row.value().has_value()) {
+    return Error{Errc::not_found, "no document for " + course_number};
+  }
+  const auto& values = row.value()->values;
+  return values[1].is_null() ? std::string{} : values[1].as_text();
+}
+
+// --- Gateway ----------------------------------------------------------------
+
+Gateway::Gateway(GatewayConfig cfg, std::vector<library::VirtualLibrary*> shards,
+                 DocumentSource* docs)
+    : cfg_(cfg),
+      shards_(std::move(shards)),
+      search_([&] {
+        std::vector<const library::VirtualLibrary*> views;
+        views.reserve(shards_.size());
+        for (auto* s : shards_) views.push_back(s);
+        return FederatedSearch(std::move(views));
+      }()),
+      docs_(docs) {
+  auto& reg = obs::MetricsRegistry::global();
+  for (const char* endpoint : {"search", "check-out", "check-in", "doc", "metrics",
+                               "healthz", "admin", "other"}) {
+    endpoint_stats_[endpoint] = EndpointStats{
+        &reg.counter("http.requests", {{"endpoint", endpoint}}),
+        &reg.histogram("http.request_micros", {{"endpoint", endpoint}})};
+  }
+  for (int status : {200, 400, 404, 405, 409, 500, 501}) {
+    status_counters_[status] =
+        &reg.counter("http.responses", {{"status", std::to_string(status)}});
+  }
+  search_results_ = &reg.counter("http.search.results");
+}
+
+obs::Counter& Gateway::status_counter(int status) {
+  if (auto it = status_counters_.find(status); it != status_counters_.end()) {
+    return *it->second;
+  }
+  return obs::MetricsRegistry::global().counter("http.responses",
+                                                {{"status", std::to_string(status)}});
+}
+
+Response Gateway::do_search(const Request& req) {
+  auto q = req.param("q");
+  if (!q.has_value() || q->empty()) return error_json(400, "missing query parameter q");
+  std::size_t limit = cfg_.default_search_limit;
+  if (auto l = req.param("limit")) {
+    std::uint64_t parsed = 0;
+    if (!parse_u64(*l, parsed) || parsed == 0) {
+      return error_json(400, "limit must be a positive integer");
+    }
+    limit = std::min<std::size_t>(parsed, cfg_.max_search_limit);
+  }
+
+  std::shared_lock lock(mu_);
+  std::vector<RankedHit> hits = search_.search(*q, limit);
+  const std::size_t corpus = search_.corpus_size();
+  lock.unlock();
+
+  search_results_->inc(hits.size());
+
+  std::string body = "{\"query\":\"" + json_escape(*q) +
+                     "\",\"corpus\":" + std::to_string(corpus) + ",\"hits\":[";
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    const RankedHit& h = hits[i];
+    if (i > 0) body += ',';
+    body += "{\"course\":\"" + json_escape(h.course_number) + "\",\"title\":\"" +
+            json_escape(h.title) + "\",\"instructor\":\"" + json_escape(h.instructor) +
+            "\",\"score\":" + format_score(h.score) +
+            ",\"instances\":" + std::to_string(h.instances) + "}";
+  }
+  body += "]}";
+  return Response::json(200, std::move(body));
+}
+
+Response Gateway::do_ledger(const Request& req, bool check_out) {
+  auto course = req.param("course");
+  auto student = req.param("student");
+  if (!course.has_value() || course->empty()) {
+    return error_json(400, "missing parameter course");
+  }
+  std::uint64_t student_id = 0;
+  if (!student.has_value() || !parse_u64(*student, student_id) || student_id == 0) {
+    return error_json(400, "student must be a positive integer");
+  }
+
+  std::unique_lock lock(mu_);
+  const std::int64_t at = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // The mutation applies to every shard replicating the course so replicas
+  // stay in lockstep; replicas are consistent, so each returns the same
+  // status and reporting the last one is faithful.
+  bool found = false;
+  Status status = Status::ok();
+  for (auto* shard : shards_) {
+    if (!shard->entries().contains(*course)) continue;
+    found = true;
+    status = check_out ? shard->check_out(*course, UserId{student_id}, at)
+                       : shard->check_in(*course, UserId{student_id}, at);
+  }
+  lock.unlock();
+
+  if (!found) return error_json(404, "no course: " + *course);
+  if (!status.is_ok()) return error_json(status_of(status), status.error().message);
+  return Response::json(
+      200, "{\"ok\":true,\"course\":\"" + json_escape(*course) +
+               "\",\"student\":" + std::to_string(student_id) +
+               ",\"at\":" + std::to_string(at) + "}");
+}
+
+Response Gateway::do_doc(const Request& req) {
+  auto course = req.param("course");
+  if (!course.has_value() || course->empty()) {
+    return error_json(400, "missing parameter course");
+  }
+  {
+    std::shared_lock lock(mu_);
+    bool known = false;
+    for (const auto* shard : shards_) {
+      if (shard->entries().contains(*course)) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return error_json(404, "no course: " + *course);
+  }
+  if (docs_ == nullptr) return error_json(404, "no document store attached");
+  Result<std::string> body = docs_->fetch(*course);
+  if (!body.is_ok()) {
+    return error_json(status_of(body.status()), body.error().message);
+  }
+  return Response::html(200, std::move(body).value());
+}
+
+Response Gateway::route(const Request& req, const EndpointStats*& stats) {
+  const bool is_get = req.method == Method::get;
+  const bool is_post = req.method == Method::post;
+  if (req.path == "/search") {
+    stats = &endpoint_stats_.at("search");
+    if (!is_get) return error_json(405, "use GET /search");
+    return do_search(req);
+  }
+  if (req.path == "/check-out") {
+    stats = &endpoint_stats_.at("check-out");
+    if (!is_post) return error_json(405, "use POST /check-out");
+    return do_ledger(req, /*check_out=*/true);
+  }
+  if (req.path == "/check-in") {
+    stats = &endpoint_stats_.at("check-in");
+    if (!is_post) return error_json(405, "use POST /check-in");
+    return do_ledger(req, /*check_out=*/false);
+  }
+  if (req.path == "/doc") {
+    stats = &endpoint_stats_.at("doc");
+    if (!is_get) return error_json(405, "use GET /doc");
+    return do_doc(req);
+  }
+  if (req.path == "/metrics") {
+    stats = &endpoint_stats_.at("metrics");
+    if (!is_get) return error_json(405, "use GET /metrics");
+    return Response::text(200, obs::to_table(obs::MetricsRegistry::global().snapshot()));
+  }
+  if (req.path == "/healthz") {
+    stats = &endpoint_stats_.at("healthz");
+    if (!is_get) return error_json(405, "use GET /healthz");
+    return Response::text(200, "ok\n");
+  }
+  if (cfg_.enable_admin && req.path == "/admin/quit") {
+    stats = &endpoint_stats_.at("admin");
+    if (!is_post) return error_json(405, "use POST /admin/quit");
+    quit_.store(true, std::memory_order_release);
+    Response r = Response::json(200, "{\"ok\":true,\"quitting\":true}");
+    r.keep_alive = false;
+    return r;
+  }
+  stats = &endpoint_stats_.at("other");
+  return error_json(404, "no such endpoint: " + req.path);
+}
+
+Response Gateway::handle(const Request& req) {
+  const std::int64_t t0 = now_micros();
+  const EndpointStats* stats = nullptr;
+  Response rsp = route(req, stats);
+  const std::int64_t micros = now_micros() - t0;
+
+  stats->requests->inc();
+  status_counter(rsp.status).inc();
+  stats->micros->observe(static_cast<double>(micros));
+  if (rsp.status >= 500 || micros > cfg_.slow_request_micros) {
+    obs::FlightRecorder::global().record(
+        obs::FlightKind::custom,
+        "http " + std::string(method_name(req.method)) + " " + req.target + " -> " +
+            std::to_string(rsp.status) + " in " + std::to_string(micros) + "us");
+  }
+  if (!req.keep_alive) rsp.keep_alive = false;
+  return rsp;
+}
+
+}  // namespace wdoc::http

@@ -1,0 +1,125 @@
+// The request/response edge of the reproduction: HTTP/1.1 command surface
+// over the virtual library (paper §5) and the document store.
+//
+// Endpoints (pazpar2's http_command.c is the exemplar for the shape):
+//   GET  /search?q=<query>&limit=<n>   ranked, merged, deduplicated hits
+//   POST /check-out?course=<c>&student=<id>
+//   POST /check-in?course=<c>&student=<id>
+//   GET  /doc?course=<c>               document fetch via wdoc::storage
+//   GET  /metrics                      obs registry snapshot (text table)
+//   GET  /healthz                      liveness probe
+//   POST /admin/quit                   graceful shutdown handshake (optional)
+//
+// The gateway composes *on top of* the library/storage layers (the HCA
+// layering argument in PAPERS.md): it owns no protocol state of theirs,
+// only a reader/writer lock serializing catalog mutations against searches.
+// Check-out/check-in timestamps come from a logical clock (one tick per
+// mutation) so same-seed workloads leave byte-identical ledgers behind.
+//
+// Observability: every request increments http.requests{endpoint=...},
+// http.responses{status=...}, feeds the http.request_micros{endpoint=...}
+// log2 histogram, and slow or 5xx requests leave a flight-recorder event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "http/message.hpp"
+#include "http/search.hpp"
+#include "library/virtual_library.hpp"
+#include "obs/metrics.hpp"
+
+namespace wdoc::storage {
+class Database;
+}
+
+namespace wdoc::http {
+
+// Where /doc bodies come from. The production implementation reads the
+// wd_document table of a storage::Database; tests may stub it.
+class DocumentSource {
+ public:
+  virtual ~DocumentSource() = default;
+  [[nodiscard]] virtual Result<std::string> fetch(const std::string& course_number) = 0;
+};
+
+// DocumentSource over a wdoc::storage Database table
+// wd_document(course_number TEXT PRIMARY KEY, body TEXT): fetch is an
+// index-driven point query, put an autocommit upsert.
+class StorageDocumentSource final : public DocumentSource {
+ public:
+  explicit StorageDocumentSource(storage::Database& db);
+  [[nodiscard]] Status put(const std::string& course_number, const std::string& body);
+  [[nodiscard]] Result<std::string> fetch(const std::string& course_number) override;
+
+ private:
+  storage::Database* db_;
+  mutable std::mutex mu_;  // Database autocommit DML is not thread-safe
+};
+
+struct GatewayConfig {
+  std::size_t default_search_limit = 10;
+  std::size_t max_search_limit = 100;
+  // Requests slower than this leave a flight-recorder event.
+  std::int64_t slow_request_micros = 50'000;
+  bool enable_admin = true;  // expose POST /admin/quit
+};
+
+class Gateway {
+ public:
+  // `shards` are the library instances federated behind /search; mutations
+  // route to the shard(s) actually holding the course. `docs` may be null
+  // (then /doc answers 404). Neither is owned.
+  Gateway(GatewayConfig cfg, std::vector<library::VirtualLibrary*> shards,
+          DocumentSource* docs);
+
+  // Thread-safe: any server worker may call concurrently.
+  [[nodiscard]] Response handle(const Request& req);
+
+  // Set once POST /admin/quit has been accepted; the serving loop polls it.
+  [[nodiscard]] bool quit_requested() const {
+    return quit_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::int64_t logical_now() const {
+    return clock_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Registry instrument references are stable for the registry's lifetime
+  // (see obs/metrics.hpp), so the per-endpoint instruments are resolved once
+  // at construction instead of per request — registry lookups build a
+  // composite string key and take a shard lock, which is measurable at
+  // gateway request rates.
+  struct EndpointStats {
+    obs::Counter* requests = nullptr;
+    obs::Histogram* micros = nullptr;
+  };
+
+  [[nodiscard]] Response route(const Request& req, const EndpointStats*& stats);
+  [[nodiscard]] Response do_search(const Request& req);
+  [[nodiscard]] Response do_ledger(const Request& req, bool check_out);
+  [[nodiscard]] Response do_doc(const Request& req);
+  [[nodiscard]] obs::Counter& status_counter(int status);
+
+  GatewayConfig cfg_;
+  std::vector<library::VirtualLibrary*> shards_;
+  FederatedSearch search_;
+  DocumentSource* docs_;
+  mutable std::shared_mutex mu_;  // read: search/doc; write: check-in/out
+  std::atomic<std::int64_t> clock_{0};
+  std::atomic<bool> quit_{false};
+  std::map<std::string, EndpointStats> endpoint_stats_;  // fixed after ctor
+  std::map<int, obs::Counter*> status_counters_;         // fixed after ctor
+  obs::Counter* search_results_ = nullptr;
+};
+
+}  // namespace wdoc::http

@@ -1,0 +1,196 @@
+#include "http/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wdoc::http {
+
+namespace {
+
+// Trims optional whitespace (SP / HTAB) from both ends of a header value.
+std::string_view trim_ows(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+bool token_equals_ci(std::string_view value, std::string_view want) {
+  if (value.size() != want.size()) return false;
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(value[i])) != want[i]) return false;
+  }
+  return true;
+}
+
+// Strict non-negative decimal parse; rejects empty, sign, and overflow past
+// `cap`. Returns false on any malformation.
+bool parse_content_length(std::string_view s, std::size_t cap, std::size_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::size_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+    if (v > cap) {
+      out = v;  // let the caller distinguish "over cap" from "garbage"
+      return true;
+    }
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool RequestParser::feed(std::string_view data) {
+  if (poisoned_) return false;
+  if (buf_.size() - pos_ + data.size() > limits_.max_buffer()) return false;
+  // Compact the consumed prefix before growing so long-lived keep-alive
+  // connections don't accumulate dead bytes.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data.data(), data.size());
+  return true;
+}
+
+ParseStatus RequestParser::fail(int status, std::string detail) {
+  poisoned_ = true;
+  error_status_ = status;
+  error_ = std::move(detail);
+  return ParseStatus::error;
+}
+
+ParseStatus RequestParser::next(Request& out) {
+  if (poisoned_) return ParseStatus::error;
+  std::string_view view = std::string_view(buf_).substr(pos_);
+
+  // --- request line --------------------------------------------------------
+  std::size_t line_end = view.find("\r\n");
+  if (line_end == std::string_view::npos) {
+    if (view.size() > limits_.max_request_line) {
+      return fail(414, "request line exceeds " +
+                           std::to_string(limits_.max_request_line) + " bytes");
+    }
+    return ParseStatus::need_more;
+  }
+  if (line_end > limits_.max_request_line) {
+    return fail(414, "request line exceeds " +
+                         std::to_string(limits_.max_request_line) + " bytes");
+  }
+  std::string_view request_line = view.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 = sp1 == std::string_view::npos
+                        ? std::string_view::npos
+                        : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    return fail(400, "malformed request line");
+  }
+  std::string_view method_tok = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  int version_minor;
+  if (version == "HTTP/1.1") {
+    version_minor = 1;
+  } else if (version == "HTTP/1.0") {
+    version_minor = 0;
+  } else {
+    return fail(400, "unsupported version: " + std::string(version));
+  }
+
+  // --- header block --------------------------------------------------------
+  std::size_t headers_begin = line_end + 2;
+  std::size_t block_end = view.find("\r\n\r\n", line_end);
+  if (block_end == std::string_view::npos) {
+    if (view.size() - headers_begin > limits_.max_header_bytes) {
+      return fail(431, "header block exceeds " +
+                           std::to_string(limits_.max_header_bytes) + " bytes");
+    }
+    return ParseStatus::need_more;
+  }
+  std::size_t body_begin = block_end + 4;
+  if (body_begin - headers_begin > limits_.max_header_bytes) {
+    return fail(431, "header block exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  Request req;
+  req.method_token = std::string(method_tok);
+  req.method = method_from(method_tok);
+  req.target = std::string(target);
+  req.version_minor = version_minor;
+
+  std::size_t header_count = 0;
+  // block_end < headers_begin when the terminator directly follows the
+  // request line, i.e. a request with no headers at all.
+  std::string_view headers =
+      block_end > headers_begin ? view.substr(headers_begin, block_end - headers_begin)
+                                : std::string_view{};
+  // `headers` excludes the final CRLF pair; iterate CRLF-separated lines.
+  while (!headers.empty()) {
+    std::size_t eol = headers.find("\r\n");
+    std::string_view line = headers.substr(0, eol);
+    headers = eol == std::string_view::npos ? std::string_view{}
+                                            : headers.substr(eol + 2);
+    if (line.empty()) return fail(400, "empty header line inside block");
+    if (++header_count > limits_.max_headers) {
+      return fail(431, "more than " + std::to_string(limits_.max_headers) +
+                           " header lines");
+    }
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return fail(400, "malformed header line");
+    }
+    std::string_view name = line.substr(0, colon);
+    if (name.find(' ') != std::string_view::npos ||
+        name.find('\t') != std::string_view::npos) {
+      return fail(400, "whitespace in header name");
+    }
+    std::string_view value = trim_ows(line.substr(colon + 1));
+    // Later duplicates win; the gateway only reads singleton headers.
+    req.headers[to_lower(name)] = std::string(value);
+  }
+
+  // --- body framing --------------------------------------------------------
+  if (req.headers.contains("transfer-encoding")) {
+    return fail(501, "transfer-encoding not supported");
+  }
+  std::size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    if (!parse_content_length(it->second, limits_.max_body, content_length)) {
+      return fail(400, "malformed content-length");
+    }
+    if (content_length > limits_.max_body) {
+      return fail(413, "body of " + it->second + " bytes exceeds " +
+                           std::to_string(limits_.max_body));
+    }
+  }
+  if (view.size() - body_begin < content_length) return ParseStatus::need_more;
+  req.body = std::string(view.substr(body_begin, content_length));
+
+  // --- connection semantics ------------------------------------------------
+  req.keep_alive = version_minor >= 1;
+  if (auto it = req.headers.find("connection"); it != req.headers.end()) {
+    if (token_equals_ci(it->second, "close")) req.keep_alive = false;
+    if (token_equals_ci(it->second, "keep-alive")) req.keep_alive = true;
+  }
+
+  split_target(req.target, req.path, req.query);
+  pos_ += body_begin + content_length;
+  out = std::move(req);
+  return ParseStatus::ready;
+}
+
+}  // namespace wdoc::http

@@ -1,0 +1,75 @@
+// Bounds-checked incremental HTTP/1.1 request parser.
+//
+// Bytes arrive from the socket in arbitrary fragments (a request may be
+// split across reads, or several pipelined requests may land in one read).
+// feed() appends to an internal buffer; next() consumes at most one complete
+// request per call, so pipelining falls out naturally: call next() until it
+// reports need_more, then feed() again.
+//
+// Every limit is enforced *before* the corresponding scan, so a hostile
+// peer can neither balloon memory (buffer is capped by the limits) nor make
+// the parser walk unbounded input looking for a terminator. All scanning is
+// std::string search within the owned buffer — no raw pointer arithmetic —
+// which keeps the fuzz surface (tests/test_decode_fuzz.cpp) ASan-clean by
+// construction. Transfer-Encoding is deliberately not implemented; requests
+// carrying it are rejected as unsupported rather than mis-framed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace wdoc::http {
+
+struct ParserLimits {
+  std::size_t max_request_line = 8 << 10;   // method + target + version
+  std::size_t max_header_bytes = 16 << 10;  // header block incl. terminator
+  std::size_t max_headers = 64;             // individual header lines
+  std::size_t max_body = 1 << 20;           // Content-Length ceiling
+
+  // Upper bound on buffered-but-unparsed bytes; beyond this feed() refuses
+  // input (pipelined requests queue no deeper than this).
+  [[nodiscard]] std::size_t max_buffer() const {
+    return max_request_line + max_header_bytes + max_body + 4096;
+  }
+};
+
+enum class ParseStatus : std::uint8_t {
+  need_more,  // incomplete request buffered; feed more bytes
+  ready,      // one request extracted into `out`
+  error,      // malformed or over-limit; connection must be closed
+};
+
+class RequestParser {
+ public:
+  explicit RequestParser(ParserLimits limits = {}) : limits_(limits) {}
+
+  // Appends raw socket bytes. Returns false when the buffer cap would be
+  // exceeded; the caller should answer 431/413 and close.
+  [[nodiscard]] bool feed(std::string_view data);
+
+  // Extracts the next complete pipelined request, if any. After `error`
+  // the parser is poisoned: every later call reports `error` too.
+  [[nodiscard]] ParseStatus next(Request& out);
+
+  // Human-readable reason for the last error (400 vs 413 vs 431 etc.).
+  [[nodiscard]] const std::string& error_detail() const { return error_; }
+  // Suggested response status for the last error.
+  [[nodiscard]] int error_status() const { return error_status_; }
+
+  [[nodiscard]] std::size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  ParseStatus fail(int status, std::string detail);
+
+  ParserLimits limits_;
+  std::string buf_;
+  std::size_t pos_ = 0;  // consumed prefix; compacted between requests
+  bool poisoned_ = false;
+  std::string error_;
+  int error_status_ = 400;
+};
+
+}  // namespace wdoc::http

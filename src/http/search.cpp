@@ -1,0 +1,135 @@
+#include "http/search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace wdoc::http {
+
+FederatedSearch::FederatedSearch(std::vector<const library::VirtualLibrary*> shards) {
+  // Merge catalogs: distinct course numbers, in sorted order, become the
+  // integer course ids the scoring accumulator indexes by.
+  std::map<std::string, CourseInfo> merged;
+  for (const auto* shard : shards) {
+    for (const auto& [course, entry] : shard->entries()) {
+      CourseInfo& info = merged[course];
+      if (info.entry == nullptr) info.entry = &entry;
+      ++info.instances;
+    }
+  }
+  courses_.reserve(merged.size());
+  course_ids_.reserve(merged.size());
+  for (const auto& [course, info] : merged) {
+    course_ids_.emplace(course, static_cast<std::uint32_t>(courses_.size()));
+    courses_.push_back(info);
+  }
+  const double n_docs = static_cast<double>(courses_.size());
+
+  // Merged postings: per token, tf merges across replicas by max — a course
+  // replicated on two shards is one logical document, not two — and df is
+  // the number of distinct courses holding the token.
+  std::map<std::string, std::map<std::uint32_t, std::uint32_t>> max_tf;
+  for (const auto* shard : shards) {
+    for (const auto& [token, postings] : shard->keyword_index()) {
+      auto& courses = max_tf[token];
+      for (const auto& [course, tf] : postings) {
+        std::uint32_t& cur = courses[course_ids_.at(course)];
+        cur = std::max(cur, tf);
+      }
+    }
+  }
+  for (const auto& [token, courses] : max_tf) {
+    TokenPostings& entry = index_[token];
+    const double df = static_cast<double>(courses.size());
+    entry.idf = std::log((1.0 + n_docs) / (1.0 + df)) + 1.0;
+    entry.postings.reserve(courses.size());
+    for (const auto& [id, tf] : courses) {
+      entry.postings.emplace_back(id, 1.0 + std::log2(static_cast<double>(tf)));
+    }
+  }
+
+  // Instructor map, deduplicated across replicas.
+  std::map<std::string, std::set<std::uint32_t>> taught;
+  for (const auto* shard : shards) {
+    for (const auto& [name, courses] : shard->instructor_index()) {
+      auto& ids = taught[name];
+      for (const std::string& course : courses) ids.insert(course_ids_.at(course));
+    }
+  }
+  for (const auto& [name, ids] : taught) {
+    instructors_[name].assign(ids.begin(), ids.end());
+  }
+}
+
+std::vector<RankedHit> FederatedSearch::search(const std::string& query,
+                                               std::size_t limit) const {
+  std::vector<double> scores(courses_.size(), 0.0);
+  std::vector<std::uint32_t> touched;
+
+  auto bump = [&](std::uint32_t id, double delta) {
+    if (scores[id] == 0.0) touched.push_back(id);
+    scores[id] += delta;
+  };
+
+  // TF-IDF over the merged index; repeated query tokens are deduplicated so
+  // "btree btree" scores like "btree".
+  const std::vector<std::string> tokens = library::tokenize(query);
+  std::set<std::string> seen_tokens;
+  for (const std::string& tok : tokens) {
+    if (!seen_tokens.insert(tok).second) continue;
+    auto it = index_.find(tok);
+    if (it == index_.end()) continue;
+    for (const auto& [id, tf_weight] : it->second.postings) {
+      bump(id, tf_weight * it->second.idf);
+    }
+  }
+
+  // Retrieval-mode boosts (paper §5: course number and instructor lookups);
+  // the merged index already deduplicates replicas, so each applies once.
+  if (auto it = course_ids_.find(query); it != course_ids_.end()) {
+    bump(it->second, 100.0);
+  }
+  if (auto it = instructors_.find(query); it != instructors_.end()) {
+    for (std::uint32_t id : it->second) bump(id, 10.0);
+  }
+
+  // Rank (score, id) pairs and materialize strings only for the returned
+  // prefix. Ids were assigned in sorted course-number order, so "id asc" is
+  // exactly the documented "course_number asc" tie-break; the comparator is
+  // a total order (ids are unique), so the result is deterministic.
+  std::vector<std::pair<double, std::uint32_t>> ranked;
+  ranked.reserve(touched.size());
+  for (std::uint32_t id : touched) {
+    if (scores[id] > 0.0) ranked.emplace_back(scores[id], id);
+  }
+  const auto better = [](const std::pair<double, std::uint32_t>& a,
+                         const std::pair<double, std::uint32_t>& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  if (limit > 0 && ranked.size() > limit) {
+    std::partial_sort(ranked.begin(),
+                      ranked.begin() + static_cast<std::ptrdiff_t>(limit), ranked.end(),
+                      better);
+    ranked.resize(limit);
+  } else {
+    std::sort(ranked.begin(), ranked.end(), better);
+  }
+
+  std::vector<RankedHit> hits;
+  hits.reserve(ranked.size());
+  for (const auto& [score, id] : ranked) {
+    const CourseInfo& info = courses_[id];
+    RankedHit h;
+    h.course_number = info.entry->course_number;
+    h.title = info.entry->title;
+    h.instructor = info.entry->instructor;
+    h.score = score;
+    h.instances = info.instances;
+    hits.push_back(std::move(h));
+  }
+  return hits;
+}
+
+}  // namespace wdoc::http

@@ -154,6 +154,23 @@ std::vector<SearchHit> VirtualLibrary::search_keywords(const std::string& query)
   return hits;
 }
 
+const std::map<std::string, std::uint32_t>* VirtualLibrary::postings(
+    const std::string& token) const {
+  auto it = keyword_index_.find(token);
+  return it == keyword_index_.end() ? nullptr : &it->second;
+}
+
+std::size_t VirtualLibrary::doc_freq(const std::string& token) const {
+  const auto* p = postings(token);
+  return p == nullptr ? 0 : p->size();
+}
+
+const std::set<std::string>* VirtualLibrary::instructor_courses(
+    const std::string& name) const {
+  auto it = instructor_index_.find(name);
+  return it == instructor_index_.end() ? nullptr : &it->second;
+}
+
 std::vector<LibraryEntry> VirtualLibrary::by_instructor(const std::string& name) const {
   std::vector<LibraryEntry> out;
   auto it = instructor_index_.find(name);

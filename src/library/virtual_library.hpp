@@ -74,6 +74,29 @@ class VirtualLibrary {
   // Union of all three retrieval modes, ranked.
   [[nodiscard]] std::vector<SearchHit> search(const std::string& query) const;
 
+  // --- index introspection (the http federated TF-IDF layer) -------------
+  // Term postings for one token: course -> term frequency, nullptr when the
+  // token is unindexed. Pointers stay valid until the next add/remove.
+  [[nodiscard]] const std::map<std::string, std::uint32_t>* postings(
+      const std::string& token) const;
+  // Number of entries whose title/keywords contain `token`.
+  [[nodiscard]] std::size_t doc_freq(const std::string& token) const;
+  // Courses taught by `name`, nullptr when unknown.
+  [[nodiscard]] const std::set<std::string>* instructor_courses(
+      const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, LibraryEntry>& entries() const {
+    return entries_;
+  }
+  // Whole-index views, for building merged federation indexes.
+  [[nodiscard]] const std::map<std::string, std::map<std::string, std::uint32_t>>&
+  keyword_index() const {
+    return keyword_index_;
+  }
+  [[nodiscard]] const std::map<std::string, std::set<std::string>>& instructor_index()
+      const {
+    return instructor_index_;
+  }
+
   // --- check-out / check-in ledger ----------------------------------------
   // "In general, there is no limitation of the number of Web pages to be
   // checked out" — the same student may hold many courses; re-checking-out

@@ -1,0 +1,100 @@
+#include "workload/library_corpus.hpp"
+
+#include "common/rng.hpp"
+
+namespace wdoc::workload {
+
+namespace {
+
+// Fixed vocabulary: titles, keywords, and queries all draw from here, so a
+// random query usually matches part of the catalog (Zipfian hit depth is
+// then governed by the workload, not by vocabulary misses).
+constexpr const char* kVocab[] = {
+    "distributed", "database",   "systems",     "networks",   "algorithms",
+    "compilers",   "graphics",   "operating",   "parallel",   "concurrency",
+    "storage",     "indexing",   "btree",       "hashing",    "replication",
+    "broadcast",   "multicast",  "caching",     "consistency", "transactions",
+    "locking",     "recovery",   "queues",      "scheduling", "architecture",
+    "web",         "documents",  "hypertext",   "multimedia", "retrieval",
+    "search",      "ranking",    "relevance",   "clustering", "partitioning",
+    "protocols",   "routing",    "latency",     "throughput", "benchmarks",
+    "security",    "encryption", "verification", "testing",   "debugging",
+    "languages",   "semantics",  "automata",    "complexity", "optimization",
+};
+constexpr std::size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+
+constexpr const char* kDepts[] = {"CS", "EE", "SE", "IT", "DS", "MM"};
+constexpr std::size_t kDeptCount = sizeof(kDepts) / sizeof(kDepts[0]);
+
+std::string vocab_word(Rng& rng) { return kVocab[rng.uniform(kVocabSize)]; }
+
+}  // namespace
+
+std::vector<library::LibraryEntry> library_corpus(const LibraryCorpusConfig& cfg) {
+  Rng rng(cfg.seed);
+  std::vector<library::LibraryEntry> out;
+  out.reserve(cfg.courses);
+  for (std::size_t i = 0; i < cfg.courses; ++i) {
+    library::LibraryEntry e;
+    e.course_number = std::string(kDepts[i % kDeptCount]) + std::to_string(100 + i);
+    std::size_t title_words = 2 + rng.uniform(3);
+    for (std::size_t w = 0; w < title_words; ++w) {
+      if (w > 0) e.title += ' ';
+      e.title += vocab_word(rng);
+    }
+    e.instructor =
+        "prof" + std::to_string(rng.uniform(cfg.instructors == 0 ? 1 : cfg.instructors));
+    std::size_t kw = 3 + rng.uniform(4);
+    for (std::size_t w = 0; w < kw; ++w) e.keywords.push_back(vocab_word(rng));
+    e.script_name = "script-" + e.course_number;
+    e.starting_url = "http://mmu.edu/" + e.course_number + "/index.html";
+    e.added_at = static_cast<std::int64_t>(i);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::string course_document(const library::LibraryEntry& entry) {
+  std::string body = "<html><head><title>" + entry.title + "</title></head><body>\n";
+  body += "<h1>" + entry.course_number + ": " + entry.title + "</h1>\n";
+  body += "<p>Instructor: " + entry.instructor + "</p>\n<ul>\n";
+  for (const std::string& kw : entry.keywords) {
+    body += "  <li>" + kw + "</li>\n";
+  }
+  body += "</ul>\n<p>Start at <a href=\"" + entry.starting_url + "\">" +
+          entry.starting_url + "</a></p>\n</body></html>\n";
+  return body;
+}
+
+void populate_shards(std::vector<library::VirtualLibrary>& shards,
+                     const std::vector<library::LibraryEntry>& entries,
+                     const LibraryCorpusConfig& cfg) {
+  WDOC_CHECK(!shards.empty(), "populate_shards: no shards");
+  Rng rng(cfg.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::size_t home = i % shards.size();
+    shards[home].add_entry(entries[i]).expect("shard add_entry");
+    if (shards.size() > 1 && rng.bernoulli(cfg.replicate_fraction)) {
+      std::size_t replica = (home + 1 + rng.uniform(shards.size() - 1)) % shards.size();
+      shards[replica].add_entry(entries[i]).expect("replica add_entry");
+    }
+  }
+}
+
+std::vector<std::string> query_pool(const LibraryCorpusConfig& cfg, std::size_t n) {
+  Rng rng(cfg.seed ^ 0xbf58476d1ce4e5b9ULL);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t words = 1 + rng.uniform(3);
+    std::string q;
+    for (std::size_t w = 0; w < words; ++w) {
+      if (w > 0) q += ' ';
+      q += vocab_word(rng);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace wdoc::workload

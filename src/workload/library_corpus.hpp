@@ -1,0 +1,45 @@
+// Seeded generator of virtual-library catalogs for the HTTP gateway: course
+// entries (titles/keywords drawn from a fixed CS vocabulary), per-course
+// document bodies, sharding with replication across library instances, and
+// a deterministic pool of multi-token search queries. Shared by
+// tests/test_http.cpp, bench/bench_http.cpp, and examples/http_gateway.cpp
+// so all three serve the same catalog for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "library/virtual_library.hpp"
+
+namespace wdoc::workload {
+
+struct LibraryCorpusConfig {
+  std::size_t courses = 500;
+  std::size_t instructors = 40;
+  std::size_t shards = 3;          // library instances behind the gateway
+  double replicate_fraction = 0.2; // courses also placed on a second shard
+  std::uint64_t seed = 1;
+};
+
+// `courses` deterministic entries; course_number is "<DEPT><number>" and is
+// unique across the catalog.
+[[nodiscard]] std::vector<library::LibraryEntry> library_corpus(
+    const LibraryCorpusConfig& cfg);
+
+// Synthetic HTML body for a course document (what GET /doc serves).
+[[nodiscard]] std::string course_document(const library::LibraryEntry& entry);
+
+// Distributes `entries` across `cfg.shards` instances round-robin, then
+// replicates `replicate_fraction` of them onto a second shard (so federated
+// search must deduplicate). Deterministic.
+void populate_shards(std::vector<library::VirtualLibrary>& shards,
+                     const std::vector<library::LibraryEntry>& entries,
+                     const LibraryCorpusConfig& cfg);
+
+// `n` multi-token queries over the same vocabulary the titles/keywords are
+// built from, so most queries hit something.
+[[nodiscard]] std::vector<std::string> query_pool(const LibraryCorpusConfig& cfg,
+                                                  std::size_t n);
+
+}  // namespace wdoc::workload

@@ -1,5 +1,8 @@
 #include "workload/patterns.hpp"
 
+#include <algorithm>
+#include <map>
+
 namespace wdoc::workload {
 
 std::vector<EditOp> editing_workload(std::size_t users, std::size_t nodes,
@@ -71,6 +74,81 @@ docmodel::TraversalLog random_traversal(const std::string& base_url, std::size_t
   close.at_ms = t + 1000;
   log.add(close);
   return log;
+}
+
+const char* http_op_kind_name(HttpOpKind k) {
+  switch (k) {
+    case HttpOpKind::search: return "search";
+    case HttpOpKind::check_out: return "check-out";
+    case HttpOpKind::check_in: return "check-in";
+    case HttpOpKind::fetch: return "fetch";
+  }
+  return "?";
+}
+
+std::vector<HttpOp> open_loop_http_trace(const HttpTraceConfig& cfg) {
+  WDOC_CHECK(cfg.users > 0 && cfg.courses > 0, "open_loop_http_trace: empty domain");
+  WDOC_CHECK(cfg.rate_qps > 0.0, "open_loop_http_trace: rate must be positive");
+  Rng rng(cfg.seed);
+  ZipfSampler zipf(cfg.courses, cfg.zipf_s);
+  // (user, course) pairs currently checked out, per user. Bounded: a user
+  // holds at most a handful of hot courses at once.
+  std::map<std::uint64_t, std::vector<std::size_t>> open_loans;
+
+  const double mean_gap_us = 1e6 / cfg.rate_qps;
+  std::vector<HttpOp> out;
+  out.reserve(cfg.ops);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.ops; ++i) {
+    t += rng.exponential(mean_gap_us);
+    HttpOp op;
+    op.at_micros = static_cast<std::int64_t>(t);
+    op.user = rng.uniform(cfg.users) + 1;
+    op.course_index = zipf.sample(rng);
+
+    const double u = rng.uniform01();
+    const double co_edge = cfg.search_fraction + cfg.checkout_fraction;
+    const double fetch_edge = co_edge + cfg.fetch_fraction;
+    if (u < cfg.search_fraction) {
+      op.kind = HttpOpKind::search;
+    } else if (u < co_edge) {
+      op.kind = HttpOpKind::check_out;
+      // Re-checking-out a held course is rejected by the library; keep the
+      // trace all-success by retrying the draw, degrading to fetch.
+      auto& held = open_loans[op.user];
+      int attempts = 0;
+      while (std::find(held.begin(), held.end(), op.course_index) != held.end() &&
+             attempts++ < 4) {
+        op.course_index = zipf.sample(rng);
+      }
+      if (std::find(held.begin(), held.end(), op.course_index) != held.end()) {
+        op.kind = HttpOpKind::fetch;
+      } else {
+        held.push_back(op.course_index);
+      }
+    } else if (u < fetch_edge) {
+      op.kind = HttpOpKind::fetch;
+      if (rng.bernoulli(cfg.bogus_fraction)) {
+        op.bogus = true;
+        op.course_index = cfg.courses + rng.uniform(cfg.courses);
+      }
+    } else {
+      // Check-in: return a random held course; users with nothing out fall
+      // back to a check-out (keeps every ledger op valid by construction).
+      auto it = open_loans.find(op.user);
+      if (it == open_loans.end() || it->second.empty()) {
+        op.kind = HttpOpKind::check_out;
+        open_loans[op.user].push_back(op.course_index);
+      } else {
+        op.kind = HttpOpKind::check_in;
+        std::size_t pick = rng.uniform(it->second.size());
+        op.course_index = it->second[pick];
+        it->second.erase(it->second.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    }
+    out.push_back(op);
+  }
+  return out;
 }
 
 docmodel::AnnotationDoc random_annotation(std::size_t ops, std::uint64_t seed) {

@@ -46,4 +46,44 @@ struct AccessOp {
 [[nodiscard]] docmodel::AnnotationDoc random_annotation(std::size_t ops,
                                                         std::uint64_t seed);
 
+// --- open-loop HTTP gateway workload ---------------------------------------
+//
+// An *open-loop* arrival process: request times are drawn up front from a
+// Poisson process at `rate_qps` regardless of how fast the server answers,
+// so queueing delay shows up in measured latency instead of throttling the
+// offered load (the honest way to claim "sustains N users"). Users are
+// drawn uniformly from a large population; courses are Zipfian (hot course
+// 0). The generator tracks per-user open loans so every check-in in the
+// trace targets a loan an earlier check-out opened — with per-user FIFO
+// ordering (route each user to one pipelined connection) all ledger ops
+// succeed deterministically.
+
+enum class HttpOpKind : std::uint8_t { search, check_out, check_in, fetch };
+
+[[nodiscard]] const char* http_op_kind_name(HttpOpKind k);
+
+struct HttpOp {
+  std::int64_t at_micros = 0;   // scheduled send time from trace start
+  HttpOpKind kind = HttpOpKind::search;
+  std::uint64_t user = 0;       // 1-based simulated user id
+  std::size_t course_index = 0; // Zipf rank; for search: the query seed
+  bool bogus = false;           // targets a course outside the catalog (404)
+};
+
+struct HttpTraceConfig {
+  std::size_t users = 100'000;   // simulated population
+  std::size_t courses = 500;     // catalog size
+  std::size_t ops = 40'000;      // total requests
+  double rate_qps = 50'000.0;    // offered load (arrival rate)
+  double zipf_s = 1.0;           // course popularity skew
+  double search_fraction = 0.55;
+  double checkout_fraction = 0.20;
+  double fetch_fraction = 0.18;  // remainder are check-in attempts
+  double bogus_fraction = 0.02;  // of fetches: unknown course, answered 404
+  std::uint64_t seed = 1;
+};
+
+// Deterministic for a given config; arrival times are nondecreasing.
+[[nodiscard]] std::vector<HttpOp> open_loop_http_trace(const HttpTraceConfig& cfg);
+
 }  // namespace wdoc::workload

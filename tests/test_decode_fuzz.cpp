@@ -10,6 +10,7 @@
 #include "dist/doc_object.hpp"
 #include "docmodel/annotation_ops.hpp"
 #include "docmodel/traversal.hpp"
+#include "http/parser.hpp"
 #include "net/chunk_wire.hpp"
 #include "storage/wal.hpp"
 #include "workload/patterns.hpp"
@@ -236,6 +237,147 @@ TEST(DecodeFuzz, ValueStream) {
       auto v = storage::Value::deserialize(r);
       if (!v.is_ok() || r.at_end()) break;
     }
+  }
+}
+
+// --- HTTP request parser ----------------------------------------------------
+//
+// The parser fronts a real network socket, so the bar is higher than the
+// wire decoders above: arbitrary soup, mutations, truncations, arbitrary
+// read-fragmentation, and pipelined back-to-back requests must never crash,
+// over-read (ASan-checked), or accept a request exceeding configured limits.
+
+namespace {
+
+const std::string kValidHttp =
+    "POST /check-out?course=CS101&student=42 HTTP/1.1\r\n"
+    "Host: wdoc\r\nContent-Length: 4\r\n\r\nbody";
+
+http::ParserLimits tight_limits() {
+  http::ParserLimits limits;
+  limits.max_request_line = 256;
+  limits.max_header_bytes = 512;
+  limits.max_headers = 16;
+  limits.max_body = 128;
+  return limits;
+}
+
+// Runs the parser to quiescence over `wire`, counting accepted requests.
+std::size_t drain(http::RequestParser& p, std::string_view wire) {
+  if (!p.feed(wire)) return 0;
+  std::size_t ready = 0;
+  for (;;) {
+    http::Request req;
+    http::ParseStatus st = p.next(req);
+    if (st == http::ParseStatus::ready) {
+      ++ready;
+      continue;
+    }
+    return ready;
+  }
+}
+
+}  // namespace
+
+TEST(DecodeFuzz, HttpParserRandomSoup) {
+  Rng rng(21);
+  for (int i = 0; i < 300; ++i) {
+    http::RequestParser p(tight_limits());
+    Bytes soup = random_bytes(rng, rng.uniform(600));
+    std::size_t ready =
+        drain(p, std::string_view(reinterpret_cast<const char*>(soup.data()),
+                                  soup.size()));
+    // Soup virtually never forms a valid request; if it somehow does, the
+    // parser must still respect the body limit.
+    EXPECT_LE(ready, 2u);
+  }
+}
+
+TEST(DecodeFuzz, HttpParserSingleByteMutations) {
+  Rng rng(22);
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = kValidHttp;
+    std::size_t pos = rng.uniform(mutated.size());
+    mutated[pos] ^= static_cast<char>(1 + rng.uniform(255));
+    http::RequestParser p(tight_limits());
+    (void)drain(p, mutated);  // must simply not crash or over-read
+  }
+}
+
+TEST(DecodeFuzz, HttpParserEveryTruncationIsIncomplete) {
+  for (std::size_t len = 0; len < kValidHttp.size(); ++len) {
+    http::RequestParser p(tight_limits());
+    ASSERT_TRUE(p.feed(std::string_view(kValidHttp).substr(0, len)));
+    http::Request req;
+    EXPECT_NE(p.next(req), http::ParseStatus::ready) << "truncated to " << len;
+  }
+}
+
+TEST(DecodeFuzz, HttpParserEverySplitParsesIdentically) {
+  for (std::size_t split = 0; split <= kValidHttp.size(); ++split) {
+    http::RequestParser p(tight_limits());
+    ASSERT_TRUE(p.feed(std::string_view(kValidHttp).substr(0, split)));
+    http::Request req;
+    http::ParseStatus first = p.next(req);
+    EXPECT_NE(first, http::ParseStatus::error) << "split at " << split;
+    ASSERT_TRUE(p.feed(std::string_view(kValidHttp).substr(split)));
+    if (first != http::ParseStatus::ready) {
+      ASSERT_EQ(p.next(req), http::ParseStatus::ready) << "split at " << split;
+    }
+    EXPECT_EQ(req.path, "/check-out");
+    EXPECT_EQ(req.body, "body");
+    EXPECT_EQ(req.param("student").value_or(""), "42");
+    EXPECT_EQ(p.next(req), http::ParseStatus::need_more);
+  }
+}
+
+TEST(DecodeFuzz, HttpParserPipelinedCopies) {
+  std::string wire;
+  for (int i = 0; i < 5; ++i) wire += kValidHttp;
+  http::RequestParser p(tight_limits());
+  EXPECT_EQ(drain(p, wire), 5u);
+  EXPECT_EQ(p.buffered_bytes(), 0u);
+}
+
+TEST(DecodeFuzz, HttpParserNeverAcceptsOverLimitRequests) {
+  http::ParserLimits limits = tight_limits();
+  // Declared body over the cap: rejected before any body bytes arrive.
+  {
+    http::RequestParser p(limits);
+    ASSERT_TRUE(p.feed("POST / HTTP/1.1\r\nContent-Length: 129\r\n\r\n"));
+    http::Request req;
+    EXPECT_EQ(p.next(req), http::ParseStatus::error);
+    EXPECT_EQ(p.error_status(), 413);
+  }
+  // Unterminated request line past the cap.
+  {
+    http::RequestParser p(limits);
+    ASSERT_TRUE(p.feed("GET /" + std::string(limits.max_request_line + 1, 'a')));
+    http::Request req;
+    EXPECT_EQ(p.next(req), http::ParseStatus::error);
+    EXPECT_EQ(p.error_status(), 414);
+  }
+  // Header flood past the cap.
+  {
+    http::RequestParser p(limits);
+    std::string wire = "GET / HTTP/1.1\r\n";
+    wire += "X: " + std::string(limits.max_header_bytes + 1, 'b') + "\r\n";
+    ASSERT_TRUE(p.feed(wire));
+    http::Request req;
+    EXPECT_EQ(p.next(req), http::ParseStatus::error);
+    EXPECT_EQ(p.error_status(), 431);
+  }
+  // feed() itself refuses once the buffer cap is reached: memory stays
+  // bounded no matter how much a peer streams.
+  {
+    http::RequestParser p(limits);
+    std::string chunk(1024, 'c');
+    std::size_t accepted = 0;
+    while (p.feed(chunk)) {
+      accepted += chunk.size();
+      ASSERT_LE(accepted, limits.max_buffer() + chunk.size());
+    }
+    EXPECT_LE(p.buffered_bytes(), limits.max_buffer());
   }
 }
 

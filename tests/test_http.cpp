@@ -1,0 +1,502 @@
+// HTTP gateway subsystem: incremental parser (split reads, pipelining,
+// limits), federated TF-IDF search (merge, dedup, determinism), gateway
+// endpoints over VirtualLibrary + storage, and the real socket server.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/client.hpp"
+#include "http/gateway.hpp"
+#include "http/parser.hpp"
+#include "http/search.hpp"
+#include "http/server.hpp"
+#include "storage/database.hpp"
+#include "workload/library_corpus.hpp"
+
+namespace wdoc::http {
+namespace {
+
+// --- parser -----------------------------------------------------------------
+
+Request parse_one(const std::string& wire) {
+  RequestParser p;
+  EXPECT_TRUE(p.feed(wire));
+  Request req;
+  EXPECT_EQ(p.next(req), ParseStatus::ready);
+  return req;
+}
+
+TEST(Parser, SimpleGet) {
+  Request req = parse_one("GET /search?q=btree+index&limit=5 HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(req.method, Method::get);
+  EXPECT_EQ(req.path, "/search");
+  EXPECT_EQ(req.param("q").value_or(""), "btree index");
+  EXPECT_EQ(req.param("limit").value_or(""), "5");
+  EXPECT_TRUE(req.keep_alive);
+  ASSERT_NE(req.header("host"), nullptr);
+  EXPECT_EQ(*req.header("Host"), "x");
+}
+
+TEST(Parser, PercentDecodingAndNoHeaders) {
+  Request req = parse_one("GET /doc?course=CS%31%30%31&x=a%2Bb HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req.param("course").value_or(""), "CS101");
+  EXPECT_EQ(req.param("x").value_or(""), "a+b");
+  // Malformed escapes pass through verbatim.
+  Request req2 = parse_one("GET /doc?course=%ZZ%4 HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(req2.param("course").value_or(""), "%ZZ%4");
+}
+
+TEST(Parser, SplitAcrossReadsByteByByte) {
+  const std::string wire =
+      "POST /check-out?course=CS101&student=7 HTTP/1.1\r\n"
+      "Host: wdoc\r\nContent-Length: 5\r\n\r\nhello";
+  RequestParser p;
+  Request req;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    ASSERT_TRUE(p.feed(std::string_view(&wire[i], 1)));
+    ParseStatus st = p.next(req);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(st, ParseStatus::need_more) << "at byte " << i;
+    } else {
+      ASSERT_EQ(st, ParseStatus::ready);
+    }
+  }
+  EXPECT_EQ(req.method, Method::post);
+  EXPECT_EQ(req.body, "hello");
+  EXPECT_EQ(req.param("student").value_or(""), "7");
+}
+
+TEST(Parser, PipelinedRequestsDrainInOrder) {
+  RequestParser p;
+  ASSERT_TRUE(p.feed("GET /a HTTP/1.1\r\n\r\n"
+                     "POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi"
+                     "GET /c HTTP/1.1\r\nConnection: close\r\n\r\n"));
+  Request req;
+  ASSERT_EQ(p.next(req), ParseStatus::ready);
+  EXPECT_EQ(req.path, "/a");
+  ASSERT_EQ(p.next(req), ParseStatus::ready);
+  EXPECT_EQ(req.path, "/b");
+  EXPECT_EQ(req.body, "hi");
+  ASSERT_EQ(p.next(req), ParseStatus::ready);
+  EXPECT_EQ(req.path, "/c");
+  EXPECT_FALSE(req.keep_alive);
+  EXPECT_EQ(p.next(req), ParseStatus::need_more);
+  EXPECT_EQ(p.buffered_bytes(), 0u);
+}
+
+TEST(Parser, Http10DefaultsToClose) {
+  Request req = parse_one("GET / HTTP/1.0\r\n\r\n");
+  EXPECT_FALSE(req.keep_alive);
+  Request req2 = parse_one("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  EXPECT_TRUE(req2.keep_alive);
+}
+
+TEST(Parser, RejectsOversizedBodyDeclaration) {
+  ParserLimits limits;
+  limits.max_body = 64;
+  RequestParser p(limits);
+  ASSERT_TRUE(p.feed("POST /x HTTP/1.1\r\nContent-Length: 65\r\n\r\n"));
+  Request req;
+  EXPECT_EQ(p.next(req), ParseStatus::error);
+  EXPECT_EQ(p.error_status(), 413);
+  // Poisoned: stays in error.
+  EXPECT_EQ(p.next(req), ParseStatus::error);
+}
+
+TEST(Parser, RejectsOverlongRequestLine) {
+  ParserLimits limits;
+  limits.max_request_line = 128;
+  RequestParser p(limits);
+  std::string wire = "GET /" + std::string(200, 'a');
+  ASSERT_TRUE(p.feed(wire));  // no CRLF yet: length check still trips
+  Request req;
+  EXPECT_EQ(p.next(req), ParseStatus::error);
+  EXPECT_EQ(p.error_status(), 414);
+}
+
+TEST(Parser, RejectsTooManyHeaders) {
+  ParserLimits limits;
+  limits.max_headers = 4;
+  RequestParser p(limits);
+  std::string wire = "GET / HTTP/1.1\r\n";
+  for (int i = 0; i < 6; ++i) wire += "h" + std::to_string(i) + ": v\r\n";
+  wire += "\r\n";
+  ASSERT_TRUE(p.feed(wire));
+  Request req;
+  EXPECT_EQ(p.next(req), ParseStatus::error);
+  EXPECT_EQ(p.error_status(), 431);
+}
+
+TEST(Parser, RejectsGarbageAndUnsupported) {
+  for (const char* wire : {
+           "FLUB\r\n\r\n",                                // no spaces
+           "GET  / HTTP/1.1\r\n\r\n",                     // double space
+           "GET / HTTP/2.0\r\n\r\n",                      // bad version
+           "GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",       // bad header
+           "GET / HTTP/1.1\r\nBad Name: v\r\n\r\n",       // ws in name
+           "GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",  // bad length
+           "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+       }) {
+    RequestParser p;
+    ASSERT_TRUE(p.feed(wire));
+    Request req;
+    EXPECT_EQ(p.next(req), ParseStatus::error) << wire;
+  }
+}
+
+TEST(Parser, FeedRefusesBeyondBufferCap) {
+  ParserLimits limits;
+  limits.max_request_line = 64;
+  limits.max_header_bytes = 64;
+  limits.max_body = 64;
+  RequestParser p(limits);
+  std::string blob(limits.max_buffer() + 1, 'x');
+  EXPECT_FALSE(p.feed(blob));
+}
+
+// --- federated search -------------------------------------------------------
+
+library::LibraryEntry make_entry(const std::string& course, const std::string& title,
+                                 const std::string& instructor,
+                                 std::vector<std::string> keywords) {
+  library::LibraryEntry e;
+  e.course_number = course;
+  e.title = title;
+  e.instructor = instructor;
+  e.keywords = std::move(keywords);
+  e.script_name = "script-" + course;
+  e.starting_url = "http://mmu.edu/" + course;
+  return e;
+}
+
+struct Shards {
+  Shards() : libs(2) {
+    libs[0].add_entry(make_entry("CS101", "btree indexing", "knuth", {"btree", "storage"}))
+        .expect("add");
+    libs[0].add_entry(make_entry("CS201", "web documents", "codd", {"web", "hypertext"}))
+        .expect("add");
+    libs[1].add_entry(make_entry("CS301", "distributed systems", "gray", {"storage"}))
+        .expect("add");
+    // CS101 replicated on both shards: must merge to one hit.
+    libs[1].add_entry(make_entry("CS101", "btree indexing", "knuth", {"btree", "storage"}))
+        .expect("add");
+  }
+  [[nodiscard]] FederatedSearch search() const {
+    return FederatedSearch({&libs[0], &libs[1]});
+  }
+  std::vector<library::VirtualLibrary> libs;
+};
+
+TEST(FederatedSearch, MergesAndDeduplicatesReplicas) {
+  Shards s;
+  auto hits = s.search().search("btree");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].course_number, "CS101");
+  EXPECT_EQ(hits[0].instances, 2u);  // held by both shards, scored once
+}
+
+TEST(FederatedSearch, GlobalDfRanksRareTokensHigher) {
+  Shards s;
+  // "storage" appears in 2 courses, "hypertext" in 1: a hypertext hit must
+  // outscore a storage hit (equal tf=1).
+  auto storage_hits = s.search().search("storage");
+  auto hyper_hits = s.search().search("hypertext");
+  ASSERT_EQ(storage_hits.size(), 2u);
+  ASSERT_EQ(hyper_hits.size(), 1u);
+  EXPECT_GT(hyper_hits[0].score, storage_hits[0].score);
+}
+
+TEST(FederatedSearch, TieBreaksByCourseAscending) {
+  Shards s;
+  auto hits = s.search().search("storage");
+  ASSERT_EQ(hits.size(), 2u);
+  // CS101 has tf("storage")=1 same as CS301; tie resolves by course id.
+  EXPECT_LT(hits[0].score - hits[1].score, 1e-12);
+  EXPECT_EQ(hits[0].course_number, "CS101");
+  EXPECT_EQ(hits[1].course_number, "CS301");
+}
+
+TEST(FederatedSearch, CourseNumberAndInstructorBoosts) {
+  Shards s;
+  auto by_course = s.search().search("CS301");
+  ASSERT_FALSE(by_course.empty());
+  EXPECT_EQ(by_course[0].course_number, "CS301");
+  EXPECT_GE(by_course[0].score, 100.0);
+
+  auto by_instructor = s.search().search("knuth");
+  ASSERT_EQ(by_instructor.size(), 1u);
+  EXPECT_EQ(by_instructor[0].course_number, "CS101");
+  // Replica on both shards must be boosted exactly once.
+  EXPECT_GE(by_instructor[0].score, 10.0);
+  EXPECT_LT(by_instructor[0].score, 20.0);
+}
+
+TEST(FederatedSearch, RepeatedQueryTokensScoreOnce) {
+  Shards s;
+  auto once = s.search().search("btree");
+  auto twice = s.search().search("btree btree");
+  ASSERT_EQ(once.size(), twice.size());
+  EXPECT_DOUBLE_EQ(once[0].score, twice[0].score);
+}
+
+TEST(FederatedSearch, DeterministicAcrossRebuilds) {
+  workload::LibraryCorpusConfig cfg;
+  cfg.courses = 60;
+  cfg.shards = 3;
+  auto entries = workload::library_corpus(cfg);
+  auto queries = workload::query_pool(cfg, 20);
+
+  auto run = [&] {
+    std::vector<library::VirtualLibrary> libs(cfg.shards);
+    workload::populate_shards(libs, entries, cfg);
+    FederatedSearch fs({&libs[0], &libs[1], &libs[2]});
+    std::string rendered;
+    for (const auto& q : queries) {
+      for (const auto& h : fs.search(q, 10)) {
+        rendered += h.course_number + ":" + std::to_string(h.score) + ":" +
+                    std::to_string(h.instances) + ";";
+      }
+      rendered += "|";
+    }
+    return rendered;
+  };
+  EXPECT_EQ(run(), run());  // byte-identical result lists
+}
+
+// --- gateway ----------------------------------------------------------------
+
+Request make_request(Method m, const std::string& target) {
+  Request req;
+  req.method = m;
+  req.target = target;
+  split_target(target, req.path, req.query);
+  return req;
+}
+
+struct GatewayHarness {
+  GatewayHarness() : db(storage::Database::in_memory()), docs(*db) {
+    workload::LibraryCorpusConfig cfg;
+    cfg.courses = 30;
+    cfg.shards = 2;
+    auto entries = workload::library_corpus(cfg);
+    libs.resize(cfg.shards);
+    workload::populate_shards(libs, entries, cfg);
+    for (const auto& e : entries) {
+      docs.put(e.course_number, workload::course_document(e)).expect("put doc");
+    }
+    gateway = std::make_unique<Gateway>(GatewayConfig{},
+                                        std::vector<library::VirtualLibrary*>{
+                                            &libs[0], &libs[1]},
+                                        &docs);
+    first_course = entries[0].course_number;
+  }
+  std::unique_ptr<storage::Database> db;
+  StorageDocumentSource docs;
+  std::vector<library::VirtualLibrary> libs;
+  std::unique_ptr<Gateway> gateway;
+  std::string first_course;
+};
+
+TEST(Gateway, SearchReturnsRankedJson) {
+  GatewayHarness h;
+  Response rsp = h.gateway->handle(make_request(Method::get, "/search?q=storage"));
+  EXPECT_EQ(rsp.status, 200);
+  EXPECT_NE(rsp.body.find("\"hits\":["), std::string::npos);
+  EXPECT_NE(rsp.body.find("\"corpus\":30"), std::string::npos);
+
+  Response bad = h.gateway->handle(make_request(Method::get, "/search"));
+  EXPECT_EQ(bad.status, 400);
+  Response bad_limit =
+      h.gateway->handle(make_request(Method::get, "/search?q=x&limit=zero"));
+  EXPECT_EQ(bad_limit.status, 400);
+}
+
+TEST(Gateway, SearchResponsesByteIdenticalAcrossInstances) {
+  GatewayHarness h1, h2;
+  for (const char* target :
+       {"/search?q=storage+indexing", "/search?q=web&limit=3", "/search?q=CS101"}) {
+    Response r1 = h1.gateway->handle(make_request(Method::get, target));
+    Response r2 = h2.gateway->handle(make_request(Method::get, target));
+    EXPECT_EQ(serialize(r1), serialize(r2)) << target;
+  }
+}
+
+TEST(Gateway, LedgerFlowAndConflicts) {
+  GatewayHarness h;
+  const std::string co = "/check-out?course=" + h.first_course + "&student=7";
+  const std::string ci = "/check-in?course=" + h.first_course + "&student=7";
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, co)).status, 200);
+  // Double check-out conflicts; replicas answered consistently.
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, co)).status, 409);
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, ci)).status, 200);
+  // Check-in with nothing out: not found.
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, ci)).status, 404);
+  // Unknown course / bad student / wrong verb.
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, "/check-out?course=NOPE&student=7"))
+                .status,
+            404);
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post,
+                                           "/check-out?course=CS100&student=abc"))
+                .status,
+            400);
+  EXPECT_EQ(h.gateway->handle(make_request(Method::get, co)).status, 405);
+  // Logical clock ticked once per accepted mutation attempt.
+  EXPECT_GT(h.gateway->logical_now(), 0);
+}
+
+TEST(Gateway, LedgerAppliesToEveryReplica) {
+  GatewayHarness h;
+  // Find a course present on both shards.
+  std::string replicated;
+  for (const auto& [course, _] : h.libs[0].entries()) {
+    if (h.libs[1].entries().contains(course)) {
+      replicated = course;
+      break;
+    }
+  }
+  ASSERT_FALSE(replicated.empty()) << "corpus must replicate something";
+  Response rsp = h.gateway->handle(
+      make_request(Method::post, "/check-out?course=" + replicated + "&student=9"));
+  EXPECT_EQ(rsp.status, 200);
+  EXPECT_EQ(h.libs[0].holders_of(replicated).size(), 1u);
+  EXPECT_EQ(h.libs[1].holders_of(replicated).size(), 1u);
+}
+
+TEST(Gateway, DocumentFetchServesStorageBackedBody) {
+  GatewayHarness h;
+  Response rsp =
+      h.gateway->handle(make_request(Method::get, "/doc?course=" + h.first_course));
+  EXPECT_EQ(rsp.status, 200);
+  EXPECT_NE(rsp.body.find("<html>"), std::string::npos);
+  EXPECT_NE(rsp.body.find(h.first_course), std::string::npos);
+  EXPECT_EQ(h.gateway->handle(make_request(Method::get, "/doc?course=GHOST")).status, 404);
+}
+
+TEST(Gateway, HealthMetricsAndQuit) {
+  GatewayHarness h;
+  EXPECT_EQ(h.gateway->handle(make_request(Method::get, "/healthz")).status, 200);
+  Response metrics = h.gateway->handle(make_request(Method::get, "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_FALSE(h.gateway->quit_requested());
+  Response quit = h.gateway->handle(make_request(Method::post, "/admin/quit"));
+  EXPECT_EQ(quit.status, 200);
+  EXPECT_FALSE(quit.keep_alive);
+  EXPECT_TRUE(h.gateway->quit_requested());
+  EXPECT_EQ(h.gateway->handle(make_request(Method::get, "/nope")).status, 404);
+}
+
+// --- server round trip ------------------------------------------------------
+
+struct ServerHarness {
+  ServerHarness() {
+    ServerConfig cfg;
+    cfg.workers = 4;
+    cfg.idle_timeout_ms = 2000;
+    server = std::make_unique<HttpServer>(
+        cfg, [this](const Request& req) { return harness.gateway->handle(req); });
+    server->start().expect("server start");
+  }
+  ~ServerHarness() { server->stop(); }
+  GatewayHarness harness;
+  std::unique_ptr<HttpServer> server;
+};
+
+TEST(Server, RoundTripSearchLedgerAndDoc) {
+  ServerHarness s;
+  HttpClient client;
+  client.connect("127.0.0.1", s.server->port()).expect("connect");
+
+  auto health = client.get("/healthz").expect("healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  auto search = client.get("/search?q=storage&limit=5").expect("search");
+  EXPECT_EQ(search.status, 200);
+  EXPECT_EQ(search.headers.at("content-type"), "application/json");
+
+  const std::string course = s.harness.first_course;
+  auto co = client.post("/check-out?course=" + course + "&student=11").expect("co");
+  EXPECT_EQ(co.status, 200);
+  auto ci = client.post("/check-in?course=" + course + "&student=11").expect("ci");
+  EXPECT_EQ(ci.status, 200);
+
+  auto doc = client.get("/doc?course=" + course).expect("doc");
+  EXPECT_EQ(doc.status, 200);
+  EXPECT_NE(doc.body.find("<html>"), std::string::npos);
+}
+
+TEST(Server, PipelinedBatchAnsweredInOrder) {
+  ServerHarness s;
+  HttpClient client;
+  client.connect("127.0.0.1", s.server->port()).expect("connect");
+  // Send 20 requests before reading a single response.
+  for (int i = 0; i < 20; ++i) {
+    std::string target = (i % 2 == 0) ? "/healthz" : "/search?q=web";
+    client.send_request("GET", target).expect("send");
+  }
+  for (int i = 0; i < 20; ++i) {
+    auto rsp = client.read_response().expect("read");
+    EXPECT_EQ(rsp.status, 200);
+    if (i % 2 == 0) {
+      EXPECT_EQ(rsp.body, "ok\n");
+    } else {
+      EXPECT_NE(rsp.body.find("\"hits\""), std::string::npos);
+    }
+  }
+}
+
+TEST(Server, ParseErrorAnswersAndCloses) {
+  ServerHarness s;
+  HttpClient client;
+  client.connect("127.0.0.1", s.server->port()).expect("connect");
+  client.send_raw("GET / HTTP/9.9\r\n\r\n").expect("send");
+  auto rsp = client.read_response().expect("read");
+  EXPECT_EQ(rsp.status, 400);
+  EXPECT_FALSE(rsp.keep_alive);
+}
+
+TEST(Server, ConcurrentClientsStayConsistent) {
+  ServerHarness s;
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      HttpClient client;
+      if (!client.connect("127.0.0.1", s.server->port()).is_ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        // Distinct students per thread: ledger ops never conflict.
+        std::string student = std::to_string(100 + c);
+        auto co = client.post("/check-out?course=" + s.harness.first_course +
+                              "&student=" + student);
+        auto ci = client.post("/check-in?course=" + s.harness.first_course +
+                              "&student=" + student);
+        auto se = client.get("/search?q=distributed+storage");
+        if (!co.is_ok() || co.value().status != 200 || !ci.is_ok() ||
+            ci.value().status != 200 || !se.is_ok() || se.value().status != 200) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Server, StopIsGracefulAndIdempotent) {
+  auto s = std::make_unique<ServerHarness>();
+  HttpClient client;
+  client.connect("127.0.0.1", s->server->port()).expect("connect");
+  EXPECT_EQ(client.get("/healthz").expect("get").status, 200);
+  s->server->stop();
+  s->server->stop();  // idempotent
+  EXPECT_FALSE(s->server->running());
+}
+
+}  // namespace
+}  // namespace wdoc::http

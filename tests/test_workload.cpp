@@ -5,6 +5,7 @@
 #include <set>
 
 #include "workload/corpus.hpp"
+#include "workload/library_corpus.hpp"
 #include "workload/patterns.hpp"
 
 namespace wdoc::workload {
@@ -177,6 +178,125 @@ TEST(Patterns, RandomAnnotationRoundTrips) {
   auto decoded = docmodel::AnnotationDoc::decode(doc.encode());
   ASSERT_TRUE(decoded.is_ok());
   EXPECT_EQ(decoded.value(), doc);
+}
+
+TEST(HttpTrace, OpenLoopShapeAndDeterminism) {
+  HttpTraceConfig cfg;
+  cfg.users = 1000;
+  cfg.courses = 50;
+  cfg.ops = 5000;
+  cfg.rate_qps = 10000.0;
+  cfg.seed = 11;
+  auto t1 = open_loop_http_trace(cfg);
+  auto t2 = open_loop_http_trace(cfg);
+  ASSERT_EQ(t1.size(), cfg.ops);
+  ASSERT_EQ(t2.size(), cfg.ops);
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].at_micros, t2[i].at_micros);
+    EXPECT_EQ(t1[i].kind, t2[i].kind);
+    EXPECT_EQ(t1[i].user, t2[i].user);
+    EXPECT_EQ(t1[i].course_index, t2[i].course_index);
+    EXPECT_EQ(t1[i].bogus, t2[i].bogus);
+  }
+  cfg.seed = 12;
+  auto t3 = open_loop_http_trace(cfg);
+  bool differs = false;
+  for (std::size_t i = 0; i < t1.size() && !differs; ++i) {
+    differs = t1[i].at_micros != t3[i].at_micros || t1[i].user != t3[i].user;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(HttpTrace, ArrivalsAreOpenLoopPoisson) {
+  HttpTraceConfig cfg;
+  cfg.users = 500;
+  cfg.courses = 20;
+  cfg.ops = 20000;
+  cfg.rate_qps = 40000.0;
+  cfg.seed = 3;
+  auto trace = open_loop_http_trace(cfg);
+  // Times nondecreasing; mean inter-arrival ~= 1e6/rate (25us).
+  std::int64_t prev = 0;
+  for (const HttpOp& op : trace) {
+    EXPECT_GE(op.at_micros, prev);
+    prev = op.at_micros;
+  }
+  double mean_gap =
+      static_cast<double>(trace.back().at_micros) / static_cast<double>(cfg.ops);
+  EXPECT_NEAR(mean_gap, 1e6 / cfg.rate_qps, 0.1 * 1e6 / cfg.rate_qps);
+}
+
+TEST(HttpTrace, CoursesAreZipfSkewedAndUsersInRange) {
+  HttpTraceConfig cfg;
+  cfg.users = 200;
+  cfg.courses = 100;
+  cfg.ops = 20000;
+  cfg.zipf_s = 1.0;
+  cfg.seed = 5;
+  auto trace = open_loop_http_trace(cfg);
+  std::map<std::size_t, int> hits;
+  for (const HttpOp& op : trace) {
+    EXPECT_GE(op.user, 1u);
+    EXPECT_LE(op.user, cfg.users);
+    if (!op.bogus) {
+      EXPECT_LT(op.course_index, cfg.courses);
+      hits[op.course_index]++;
+    } else {
+      EXPECT_GE(op.course_index, cfg.courses);  // bogus targets miss the catalog
+    }
+  }
+  EXPECT_GT(hits[0], hits[50] * 2);  // hot head
+}
+
+TEST(HttpTrace, EveryCheckInHasAMatchingOpenCheckOut) {
+  HttpTraceConfig cfg;
+  cfg.users = 300;
+  cfg.courses = 40;
+  cfg.ops = 10000;
+  cfg.seed = 9;
+  auto trace = open_loop_http_trace(cfg);
+  std::map<std::pair<std::uint64_t, std::size_t>, int> open;
+  std::size_t check_ins = 0;
+  for (const HttpOp& op : trace) {
+    auto key = std::make_pair(op.user, op.course_index);
+    if (op.kind == HttpOpKind::check_out) {
+      // Never re-checks-out a held course (library would answer 409).
+      EXPECT_EQ(open[key], 0) << "user " << op.user << " course " << op.course_index;
+      open[key]++;
+    } else if (op.kind == HttpOpKind::check_in) {
+      ++check_ins;
+      ASSERT_GT(open[key], 0) << "check-in without open loan";
+      open[key]--;
+    }
+  }
+  EXPECT_GT(check_ins, 0u);  // the mix genuinely exercises the ledger
+}
+
+TEST(LibraryCorpus, DeterministicShardingAndQueries) {
+  LibraryCorpusConfig cfg;
+  cfg.courses = 40;
+  cfg.shards = 3;
+  auto e1 = library_corpus(cfg);
+  auto e2 = library_corpus(cfg);
+  ASSERT_EQ(e1.size(), 40u);
+  for (std::size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].course_number, e2[i].course_number);
+    EXPECT_EQ(e1[i].title, e2[i].title);
+    EXPECT_EQ(e1[i].keywords, e2[i].keywords);
+  }
+  std::vector<library::VirtualLibrary> s1(cfg.shards), s2(cfg.shards);
+  populate_shards(s1, e1, cfg);
+  populate_shards(s2, e2, cfg);
+  std::size_t total1 = 0, total2 = 0;
+  for (std::size_t i = 0; i < cfg.shards; ++i) {
+    EXPECT_EQ(s1[i].entry_count(), s2[i].entry_count());
+    total1 += s1[i].entry_count();
+    total2 += s2[i].entry_count();
+  }
+  EXPECT_GE(total1, cfg.courses);  // replicas add extra placements
+  EXPECT_EQ(total1, total2);
+  EXPECT_EQ(query_pool(cfg, 10), query_pool(cfg, 10));
+  EXPECT_FALSE(course_document(e1[0]).empty());
 }
 
 TEST(Patterns, GeneratorsDeterministic) {
