@@ -14,7 +14,15 @@
 // response/byte counters are deterministic for a given seed (latency
 // histograms and p50/p99/QPS gauges are not); CI drift-checks the counters.
 //
+// Tracing drill: --stall-micros=N --stall-every=K injects an N-microsecond
+// stall into every K-th document fetch. The bench then self-checks the
+// observability acceptance path: every stalled request must be tail-promoted
+// with its full gateway→storage span chain, the fattest doc-latency bucket's
+// exemplar must resolve to a captured trace, and the http.doc.latency
+// fast-burn SLO alert must fire. GET /debug/slo is printed either way.
+//
 // Flags: --users= --courses= --ops= --rate= --conns= --seed= --workers=
+//        --stall-micros= --stall-every=
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -24,12 +32,16 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "http/client.hpp"
 #include "http/gateway.hpp"
 #include "http/server.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/trace.hpp"
 #include "sim_cluster.hpp"
 #include "storage/database.hpp"
 #include "workload/library_corpus.hpp"
@@ -145,6 +157,42 @@ ConnResult drive_connection(const std::string& host, std::uint16_t port,
   return result;
 }
 
+// DocumentSource wrapper that stalls every K-th fetch and remembers which
+// traces it stalled (the ambient per-thread context names the request).
+class StallingDocs final : public http::DocumentSource {
+ public:
+  StallingDocs(http::DocumentSource& inner, std::int64_t stall_micros,
+               std::uint64_t every)
+      : inner_(&inner), stall_micros_(stall_micros), every_(every) {}
+
+  Result<std::string> fetch(const std::string& course_number) override {
+    const std::uint64_t n = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (stall_micros_ > 0 && every_ != 0 && n % every_ == 0) {
+      obs::SpanScope span("storage.stall");
+      std::this_thread::sleep_for(std::chrono::microseconds(stall_micros_));
+      const std::uint64_t trace = obs::RequestTracer::current().trace_id;
+      if (trace != 0) {
+        std::lock_guard lock(mu_);
+        stalled_.push_back(trace);
+      }
+    }
+    return inner_->fetch(course_number);
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> stalled() const {
+    std::lock_guard lock(mu_);
+    return stalled_;
+  }
+
+ private:
+  http::DocumentSource* inner_;
+  std::int64_t stall_micros_;
+  std::uint64_t every_;
+  std::atomic<std::uint64_t> calls_{0};
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> stalled_;
+};
+
 std::int64_t percentile(std::vector<std::int64_t>& v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -168,6 +216,9 @@ int main(int argc, char** argv) {
   trace_cfg.seed = flag_u64(argc, argv, "seed", 4242);
   const std::size_t conns = flag_u64(argc, argv, "conns", 8);
   const std::size_t workers = flag_u64(argc, argv, "workers", 8);
+  const auto stall_micros =
+      static_cast<std::int64_t>(flag_u64(argc, argv, "stall-micros", 0));
+  const std::uint64_t stall_every = flag_u64(argc, argv, "stall-every", 3);
 
   std::printf("=== E-http: gateway under an open-loop Zipfian workload ===\n");
   std::printf("%zu simulated users, %zu courses on 3 shards, %zu requests at "
@@ -192,7 +243,13 @@ int main(int argc, char** argv) {
   }
   std::vector<library::VirtualLibrary*> shard_ptrs;
   for (auto& s : shards) shard_ptrs.push_back(&s);
-  http::Gateway gateway(http::GatewayConfig{}, shard_ptrs, &docs);
+  StallingDocs stalling(docs, stall_micros, stall_every);
+  http::GatewayConfig gw_cfg;
+  // Evaluate the SLO engine every 250 ms: short enough that a stall drill
+  // fires its fast-burn alert within the bench run, long enough to be
+  // negligible per request.
+  gw_cfg.slo.eval_period_micros = 250'000;
+  http::Gateway gateway(gw_cfg, shard_ptrs, &stalling);
 
   http::ServerConfig server_cfg;
   server_cfg.workers = workers;
@@ -219,6 +276,15 @@ int main(int argc, char** argv) {
     });
   }
   for (auto& d : drivers) d.join();
+
+  // SLO status as the server saw it, after a forced evaluation.
+  std::string slo_json;
+  {
+    http::HttpClient probe;
+    probe.connect("127.0.0.1", server.port()).expect("slo probe connect");
+    http::ClientResponse rsp = probe.get("/debug/slo").expect("slo probe");
+    slo_json = rsp.body;
+  }
   server.stop();
 
   // --- report --------------------------------------------------------------
@@ -264,5 +330,68 @@ int main(int argc, char** argv) {
   reg.gauge("http_bench.simulated_users").set(static_cast<std::int64_t>(trace_cfg.users));
   reg.counter("http_bench.wrong_status").inc(wrong);
 
-  return wrong == 0 ? 0 : 1;
+  std::printf("\n  tracing: %llu requests, promoted head=%llu error=%llu "
+              "tail=%llu, discarded=%llu\n",
+              static_cast<unsigned long long>(reg.counter("obs.trace.requests").value()),
+              static_cast<unsigned long long>(
+                  reg.counter("obs.trace.promoted", {{"reason", "head"}}).value()),
+              static_cast<unsigned long long>(
+                  reg.counter("obs.trace.promoted", {{"reason", "error"}}).value()),
+              static_cast<unsigned long long>(
+                  reg.counter("obs.trace.promoted", {{"reason", "tail_latency"}}).value()),
+              static_cast<unsigned long long>(reg.counter("obs.trace.discarded").value()));
+  std::printf("  slo: %s\n", slo_json.c_str());
+
+  // --- stall-drill self-check ----------------------------------------------
+  bool drill_ok = true;
+  if (stall_micros > 0) {
+    // (a) every stalled request was tail-promoted with its complete
+    // gateway -> storage span chain.
+    const std::vector<obs::SpanRecord> spans = obs::Tracer::global().spans();
+    std::unordered_map<std::uint64_t, std::set<std::string>> names_by_trace;
+    for (const obs::SpanRecord& s : spans) {
+      if (s.trace_id != 0) names_by_trace[s.trace_id].insert(s.name);
+    }
+    const std::vector<std::uint64_t> stalled = stalling.stalled();
+    std::size_t incomplete = 0;
+    for (std::uint64_t t : stalled) {
+      auto it = names_by_trace.find(t);
+      if (it == names_by_trace.end() || it->second.count("GET /doc") == 0 ||
+          it->second.count("gateway.doc") == 0 ||
+          it->second.count("storage.stall") == 0 ||
+          it->second.count("storage.doc.fetch") == 0) {
+        ++incomplete;
+      }
+    }
+    std::printf("  drill: %zu stalled requests, %zu missing full span chains\n",
+                stalled.size(), incomplete);
+    if (stalled.empty() || incomplete != 0) drill_ok = false;
+
+    // (b) the fattest doc-latency bucket's exemplar resolves to a captured
+    // trace.
+    auto& doc_hist = reg.histogram("http.request_micros", {{"endpoint", "doc"}});
+    std::uint64_t exemplar = 0;
+    for (std::size_t i = obs::Histogram::kBuckets; i-- > 0;) {
+      if (doc_hist.bucket_count(i) != 0) {
+        exemplar = doc_hist.exemplar(i);
+        break;
+      }
+    }
+    const bool exemplar_ok = exemplar != 0 && names_by_trace.count(exemplar) != 0;
+    std::printf("  drill: top doc bucket exemplar trace=%llu resolvable=%s\n",
+                static_cast<unsigned long long>(exemplar), exemplar_ok ? "yes" : "NO");
+    if (!exemplar_ok) drill_ok = false;
+
+    // (c) the fast-burn alert on http.doc.latency fired.
+    const std::uint64_t fast_alerts =
+        reg.counter("obs.slo.alerts",
+                    {{"slo", "http.doc.latency"}, {"severity", "fast"}})
+            .value();
+    std::printf("  drill: http.doc.latency fast-burn alerts fired=%llu\n",
+                static_cast<unsigned long long>(fast_alerts));
+    if (fast_alerts == 0) drill_ok = false;
+    std::printf("  drill: %s\n", drill_ok ? "PASS" : "FAIL");
+  }
+
+  return (wrong == 0 && drill_ok) ? 0 : 1;
 }

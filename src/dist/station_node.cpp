@@ -357,7 +357,7 @@ void StationNode::note_alive(StationId from) {
 // --- push --------------------------------------------------------------------
 
 Status StationNode::send_push(StationId to, const DocManifest& manifest,
-                              std::uint64_t trace_parent) {
+                              std::uint64_t trace_parent, std::uint64_t trace_id) {
   Writer w;
   manifest.serialize(w);
   net::Message msg;
@@ -367,6 +367,7 @@ Status StationNode::send_push(StationId to, const DocManifest& manifest,
   msg.payload = w.take();
   msg.wire_size = manifest.total_bytes();
   msg.trace_parent = trace_parent;
+  msg.trace_id = trace_id;
   DistMetrics::get().pushes.inc();
   return fabric_->send(std::move(msg));
 }
@@ -387,10 +388,12 @@ Status StationNode::broadcast_push_store_forward(const DocManifest& manifest) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
   auto& tracer = obs::Tracer::global();
-  std::uint64_t span =
-      tracer.begin("dist.push " + manifest.doc_key, 0, fabric_->now(), self_.value());
+  const std::uint64_t trace_id =
+      obs::derive_trace_id((self_.value() << 24) | ++next_req_);
+  std::uint64_t span = tracer.begin("dist.push " + manifest.doc_key, 0,
+                                    fabric_->now(), self_.value(), trace_id);
   for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest, span));
+    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest, span, trace_id));
     ++stats_.pushes_forwarded;
   }
   tracer.end(span, fabric_->now());
@@ -408,8 +411,9 @@ Status StationNode::start_chunked_push(const DocManifest& manifest) {
     t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
   }
   t.delivered = true;  // the instructor holds the persistent instance
+  t.trace_id = obs::derive_trace_id(transfer_id);
   t.span = obs::Tracer::global().begin("dist.push " + manifest.doc_key, 0,
-                                       fabric_->now(), self_.value());
+                                       fabric_->now(), self_.value(), t.trace_id);
   auto [it, inserted] = transfers_.emplace(transfer_id, std::move(t));
   WDOC_CHECK(inserted, "duplicate transfer id");
   open_transfer_children(transfer_id, it->second);
@@ -437,6 +441,7 @@ void StationNode::open_transfer_children(std::uint64_t transfer_id, Transfer& t)
     // manifest itself; blob bytes are charged chunk by chunk.
     out.wire_size = t.manifest.structure_bytes + payload.size();
     out.trace_parent = t.span;
+    out.trace_id = t.trace_id;
     DistMetrics::get().pushes.inc();
     Status s = fabric_->send(std::move(out));
     if (!s.is_ok()) continue;
@@ -555,6 +560,7 @@ Status StationNode::send_chunk(std::uint64_t transfer_id, const Transfer& t,
   out.payload = d.encode();
   if (!d.has_payload) out.wire_size = d.chunk_len + 64;
   out.trace_parent = t.span;
+  out.trace_id = t.trace_id;
   ++stats_.chunks_sent;
   stats_.chunk_bytes_sent += d.chunk_len;
   auto& dm = DistMetrics::get();
@@ -623,8 +629,9 @@ void StationNode::on_chunk_begin(const net::Message& msg) {
   for (const BlobRef& b : m.blobs) {
     t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
   }
+  t.trace_id = msg.trace_id;
   t.span = obs::Tracer::global().begin("dist.push.hop " + m.doc_key, msg.trace_parent,
-                                       fabric_->now(), self_.value());
+                                       fabric_->now(), self_.value(), t.trace_id);
   // Mirror entry first, so even a transfer that loses its tail leaves the
   // routing information chunk-level repair needs.
   if (store_->doc(m.doc_key) == nullptr) (void)store_->put_reference(m);
@@ -1007,7 +1014,7 @@ void StationNode::on_push(const net::Message& msg) {
   // Child span of the sender's push span: the trace mirrors the m-ary tree.
   auto& tracer = obs::Tracer::global();
   std::uint64_t span = tracer.begin("dist.push.hop " + m.doc_key, msg.trace_parent,
-                                    fabric_->now(), self_.value());
+                                    fabric_->now(), self_.value(), msg.trace_id);
   const StoredDoc* existing = store_->doc(m.doc_key);
   if (existing == nullptr) {
     Status s = store_->put_instance(m, /*ephemeral=*/true);
@@ -1021,7 +1028,7 @@ void StationNode::on_push(const net::Message& msg) {
   // Forward down the tree.
   if (position_ != 0) {
     for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-      Status s = send_push(broadcast_vector_[child - 1], m, span);
+      Status s = send_push(broadcast_vector_[child - 1], m, span, msg.trace_id);
       if (s.is_ok()) ++stats_.pushes_forwarded;
     }
   }

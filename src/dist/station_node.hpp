@@ -304,7 +304,8 @@ class StationNode {
   [[nodiscard]] Status send_blob_req(std::uint64_t req_id, StationId holder,
                                      const std::string& doc_key, const BlobRef& blob);
   [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest,
-                                 std::uint64_t trace_parent = 0);
+                                 std::uint64_t trace_parent = 0,
+                                 std::uint64_t trace_id = 0);
 
   // Failure detector: consecutive attempt timeouts per routed-to peer.
   void note_attempt_timeout(StationId target);
@@ -327,6 +328,10 @@ class StationNode {
     bool delivered = false;  // local instance materialized
     std::vector<ChildCursor> children;
     std::uint64_t span = 0;  // trace span covering this hop of the multicast
+    // End-to-end trace of the whole multicast: derived deterministically
+    // from the transfer id at the root, inherited from msg.trace_id at
+    // every hop below it.
+    std::uint64_t trace_id = 0;
   };
 
   [[nodiscard]] Status start_chunked_push(const DocManifest& manifest);

@@ -74,6 +74,7 @@ StorageDocumentSource::StorageDocumentSource(storage::Database& db) : db_(&db) {
 Status StorageDocumentSource::put(const std::string& course_number,
                                   const std::string& body) {
   using storage::Value;
+  obs::SpanScope span("storage.doc.put");
   std::lock_guard lock(mu_);
   auto existing = db_->query(kDocTable).where_eq("course_number", Value(course_number)).first();
   WDOC_TRY(existing.status());
@@ -86,6 +87,7 @@ Status StorageDocumentSource::put(const std::string& course_number,
 
 Result<std::string> StorageDocumentSource::fetch(const std::string& course_number) {
   using storage::Value;
+  obs::SpanScope span("storage.doc.fetch");
   std::lock_guard lock(mu_);
   auto row = db_->query(kDocTable).where_eq("course_number", Value(course_number)).first();
   WDOC_TRY(row.status());
@@ -108,10 +110,11 @@ Gateway::Gateway(GatewayConfig cfg, std::vector<library::VirtualLibrary*> shards
         for (auto* s : shards_) views.push_back(s);
         return FederatedSearch(std::move(views));
       }()),
-      docs_(docs) {
+      docs_(docs),
+      slo_(cfg.slo) {
   auto& reg = obs::MetricsRegistry::global();
   for (const char* endpoint : {"search", "check-out", "check-in", "doc", "metrics",
-                               "healthz", "admin", "other"}) {
+                               "debug", "healthz", "admin", "other"}) {
     endpoint_stats_[endpoint] = EndpointStats{
         &reg.counter("http.requests", {{"endpoint", endpoint}}),
         &reg.histogram("http.request_micros", {{"endpoint", endpoint}})};
@@ -121,6 +124,37 @@ Gateway::Gateway(GatewayConfig cfg, std::vector<library::VirtualLibrary*> shards
         &reg.counter("http.responses", {{"status", std::to_string(status)}});
   }
   search_results_ = &reg.counter("http.search.results");
+  requests_total_ = &reg.counter("http.requests_total");
+  responses_5xx_ = &reg.counter("http.responses_5xx");
+
+  // The gateway is the tracing edge: it owns the process RequestTracer
+  // configuration (trace ids restart from zero here, so same-seed runs mint
+  // the same ids and promote the same head-sampled set).
+  obs::RequestTracer::global().configure(cfg_.trace);
+
+  obs::SloObjective search_slo;
+  search_slo.name = "http.search.latency";
+  search_slo.target = cfg_.latency_slo_target;
+  search_slo.kind = obs::SloObjective::Kind::latency;
+  search_slo.histogram = endpoint_stats_["search"].micros;
+  search_slo.threshold_micros = cfg_.latency_slo_micros;
+  slo_.add(std::move(search_slo));
+
+  obs::SloObjective doc_slo;
+  doc_slo.name = "http.doc.latency";
+  doc_slo.target = cfg_.latency_slo_target;
+  doc_slo.kind = obs::SloObjective::Kind::latency;
+  doc_slo.histogram = endpoint_stats_["doc"].micros;
+  doc_slo.threshold_micros = cfg_.latency_slo_micros;
+  slo_.add(std::move(doc_slo));
+
+  obs::SloObjective avail;
+  avail.name = "http.availability";
+  avail.target = cfg_.availability_target;
+  avail.kind = obs::SloObjective::Kind::availability;
+  avail.total = requests_total_;
+  avail.bad = responses_5xx_;
+  slo_.add(std::move(avail));
 }
 
 obs::Counter& Gateway::status_counter(int status) {
@@ -143,10 +177,12 @@ Response Gateway::do_search(const Request& req) {
     limit = std::min<std::size_t>(parsed, cfg_.max_search_limit);
   }
 
+  obs::SpanScope span("gateway.search");
   std::shared_lock lock(mu_);
   std::vector<RankedHit> hits = search_.search(*q, limit);
   const std::size_t corpus = search_.corpus_size();
   lock.unlock();
+  span.end(obs::SpanScope::wall_now());
 
   search_results_->inc(hits.size());
 
@@ -175,6 +211,7 @@ Response Gateway::do_ledger(const Request& req, bool check_out) {
     return error_json(400, "student must be a positive integer");
   }
 
+  obs::SpanScope span("gateway.ledger");
   std::unique_lock lock(mu_);
   const std::int64_t at = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   // The mutation applies to every shard replicating the course so replicas
@@ -215,11 +252,31 @@ Response Gateway::do_doc(const Request& req) {
     if (!known) return error_json(404, "no course: " + *course);
   }
   if (docs_ == nullptr) return error_json(404, "no document store attached");
+  obs::SpanScope span("gateway.doc");
   Result<std::string> body = docs_->fetch(*course);
   if (!body.is_ok()) {
     return error_json(status_of(body.status()), body.error().message);
   }
   return Response::html(200, std::move(body).value());
+}
+
+Response Gateway::do_debug_slo() {
+  // Force a fresh evaluation so the answer reflects the instruments as of
+  // this request, not the last periodic tick.
+  (void)slo_.evaluate(SimTime::micros(now_micros()));
+  return Response::json(200, slo_.to_json());
+}
+
+void Gateway::maybe_evaluate_slo(std::int64_t now) {
+  std::int64_t due = next_slo_eval_.load(std::memory_order_relaxed);
+  if (now < due) return;
+  // One winner per period; losers skip rather than queueing behind the
+  // engine mutex.
+  if (!next_slo_eval_.compare_exchange_strong(due, now + slo_.windows().eval_period_micros,
+                                              std::memory_order_relaxed)) {
+    return;
+  }
+  (void)slo_.evaluate(SimTime::micros(now));
 }
 
 Response Gateway::route(const Request& req, const EndpointStats*& stats) {
@@ -248,7 +305,14 @@ Response Gateway::route(const Request& req, const EndpointStats*& stats) {
   if (req.path == "/metrics") {
     stats = &endpoint_stats_.at("metrics");
     if (!is_get) return error_json(405, "use GET /metrics");
-    return Response::text(200, obs::to_table(obs::MetricsRegistry::global().snapshot()));
+    // JSON (not the text table): scrapers get machine-readable samples with
+    // explicit histogram bucket boundaries and exemplar trace ids.
+    return Response::json(200, obs::to_json(obs::MetricsRegistry::global().snapshot()));
+  }
+  if (cfg_.enable_debug && req.path == "/debug/slo") {
+    stats = &endpoint_stats_.at("debug");
+    if (!is_get) return error_json(405, "use GET /debug/slo");
+    return do_debug_slo();
   }
   if (req.path == "/healthz") {
     stats = &endpoint_stats_.at("healthz");
@@ -269,19 +333,34 @@ Response Gateway::route(const Request& req, const EndpointStats*& stats) {
 
 Response Gateway::handle(const Request& req) {
   const std::int64_t t0 = now_micros();
+  // Mint the request's TraceContext; spans opened anywhere below (federated
+  // search, the storage path, rpcs) buffer provisionally under it.
+  obs::TraceContext ctx = obs::RequestTracer::global().start_request(
+      std::string(method_name(req.method)) + " " + req.path, SimTime::micros(t0));
   const EndpointStats* stats = nullptr;
   Response rsp = route(req, stats);
-  const std::int64_t micros = now_micros() - t0;
+  const std::int64_t t1 = now_micros();
+  const std::int64_t micros = t1 - t0;
+
+  const bool error = rsp.status >= 500;
+  const bool promoted =
+      obs::RequestTracer::global().finish_request(ctx, SimTime::micros(t1), error);
 
   stats->requests->inc();
+  requests_total_->inc();
   status_counter(rsp.status).inc();
-  stats->micros->observe(static_cast<double>(micros));
-  if (rsp.status >= 500 || micros > cfg_.slow_request_micros) {
+  if (error) responses_5xx_->inc();
+  // Promoted requests stamp their bucket's exemplar: the p99 bucket in an
+  // exported snapshot names a concrete trace id that was actually captured.
+  stats->micros->observe(static_cast<double>(micros), promoted ? ctx.trace_id : 0);
+  if (error || micros > cfg_.slow_request_micros) {
     obs::FlightRecorder::global().record(
         obs::FlightKind::custom,
         "http " + std::string(method_name(req.method)) + " " + req.target + " -> " +
-            std::to_string(rsp.status) + " in " + std::to_string(micros) + "us");
+            std::to_string(rsp.status) + " in " + std::to_string(micros) + "us" +
+            (promoted ? " trace=" + std::to_string(ctx.trace_id) : ""));
   }
+  maybe_evaluate_slo(t1);
   if (!req.keep_alive) rsp.keep_alive = false;
   return rsp;
 }

@@ -6,7 +6,9 @@
 //   POST /check-out?course=<c>&student=<id>
 //   POST /check-in?course=<c>&student=<id>
 //   GET  /doc?course=<c>               document fetch via wdoc::storage
-//   GET  /metrics                      obs registry snapshot (text table)
+//   GET  /metrics                      obs registry snapshot (JSON, with
+//                                      histogram bucket boundaries)
+//   GET  /debug/slo                    SLO burn-rate status (JSON, optional)
 //   GET  /healthz                      liveness probe
 //   POST /admin/quit                   graceful shutdown handshake (optional)
 //
@@ -19,6 +21,10 @@
 // Observability: every request increments http.requests{endpoint=...},
 // http.responses{status=...}, feeds the http.request_micros{endpoint=...}
 // log2 histogram, and slow or 5xx requests leave a flight-recorder event.
+// The gateway is also the tracing edge: each request gets a TraceContext
+// (deterministic head sampling + tail-based capture of slow/erroring
+// requests, obs/request_trace.hpp), promoted requests stamp histogram
+// exemplars, and an SloEngine evaluates burn-rate alerts once per period.
 #pragma once
 
 #include <atomic>
@@ -36,6 +42,8 @@
 #include "http/search.hpp"
 #include "library/virtual_library.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/slo.hpp"
 
 namespace wdoc::storage {
 class Database;
@@ -71,6 +79,18 @@ struct GatewayConfig {
   // Requests slower than this leave a flight-recorder event.
   std::int64_t slow_request_micros = 50'000;
   bool enable_admin = true;  // expose POST /admin/quit
+  bool enable_debug = true;  // expose GET /debug/slo
+  // End-to-end tracing: the gateway is the edge that mints TraceContexts
+  // (see obs/request_trace.hpp). The constructor installs this into the
+  // process-wide RequestTracer.
+  obs::RequestTraceConfig trace;
+  // SLO evaluation windows (see obs/slo.hpp). Objectives are fixed:
+  // http.search.latency and http.doc.latency p99 within latency_slo_micros,
+  // http.availability 99.9% non-5xx.
+  obs::SloWindows slo;
+  std::int64_t latency_slo_micros = 5'000;
+  double latency_slo_target = 0.99;
+  double availability_target = 0.999;
 };
 
 class Gateway {
@@ -108,7 +128,11 @@ class Gateway {
   [[nodiscard]] Response do_search(const Request& req);
   [[nodiscard]] Response do_ledger(const Request& req, bool check_out);
   [[nodiscard]] Response do_doc(const Request& req);
+  [[nodiscard]] Response do_debug_slo();
   [[nodiscard]] obs::Counter& status_counter(int status);
+  // Runs SloEngine::evaluate at most once per eval period; any worker may
+  // hit the gate, a single CAS winner pays the evaluation.
+  void maybe_evaluate_slo(std::int64_t now);
 
   GatewayConfig cfg_;
   std::vector<library::VirtualLibrary*> shards_;
@@ -120,6 +144,11 @@ class Gateway {
   std::map<std::string, EndpointStats> endpoint_stats_;  // fixed after ctor
   std::map<int, obs::Counter*> status_counters_;         // fixed after ctor
   obs::Counter* search_results_ = nullptr;
+  // Aggregates feeding the availability objective.
+  obs::Counter* requests_total_ = nullptr;   // http.requests_total
+  obs::Counter* responses_5xx_ = nullptr;    // http.responses_5xx
+  obs::SloEngine slo_;
+  std::atomic<std::int64_t> next_slo_eval_{0};
 };
 
 }  // namespace wdoc::http

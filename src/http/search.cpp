@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "obs/request_trace.hpp"
+
 namespace wdoc::http {
 
 FederatedSearch::FederatedSearch(std::vector<const library::VirtualLibrary*> shards) {
@@ -64,6 +66,7 @@ FederatedSearch::FederatedSearch(std::vector<const library::VirtualLibrary*> sha
 
 std::vector<RankedHit> FederatedSearch::search(const std::string& query,
                                                std::size_t limit) const {
+  obs::SpanScope span("search.federated");
   std::vector<double> scores(courses_.size(), 0.0);
   std::vector<std::uint32_t> touched;
 

@@ -25,6 +25,13 @@ struct Message {
   // Both fabrics are in-process, so the receiver can parent its own span on
   // it and a trace follows a push down the whole distribution tree.
   std::uint64_t trace_parent = 0;
+  // End-to-end trace the sender's span belongs to (0 = none). Receivers
+  // stamp it on the spans they open for this message, so remote-station
+  // work joins the initiator's trace instead of starting an orphan.
+  std::uint64_t trace_id = 0;
+  // Initiator's head-sample verdict rides along so downstream stations
+  // never re-flip the coin with a different seed.
+  bool trace_sampled = false;
 
   [[nodiscard]] std::uint64_t charged_size() const {
     return wire_size != 0 ? wire_size : payload.size() + 64;  // 64 B header

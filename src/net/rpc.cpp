@@ -102,6 +102,11 @@ void RpcTracker::track_erased(std::uint64_t req_id, const RpcOptions& opts, Rese
   e.tag = tag;
   e.on_fail = std::move(on_fail);
   e.started = fabric_->now();
+  if (opts.trace.active()) {
+    e.span = obs::Tracer::global().begin(
+        opts.trace_name.empty() ? "rpc" : opts.trace_name, opts.trace.span_id,
+        e.started, self_.value(), opts.trace.trace_id);
+  }
   std::uint64_t epoch = ++e.epoch;
   e.timer = fabric_->schedule_on(self_, opts.deadline,
                                  [this, req_id, epoch] { on_deadline(req_id, epoch); });
@@ -125,7 +130,9 @@ std::shared_ptr<void> RpcTracker::finish(std::uint64_t req_id, const std::type_i
   RpcMetrics::get().latency_us.observe(
       static_cast<double>((fabric_->now() - it->second.started).as_micros()));
   std::shared_ptr<void> done = std::move(it->second.done);
+  const std::uint64_t span = it->second.span;
   entries_.erase(it);
+  if (span != 0) obs::Tracer::global().end(span, fabric_->now());
   return done;
 }
 
@@ -151,6 +158,7 @@ void RpcTracker::cancel(std::uint64_t req_id) {
   auto it = entries_.find(req_id);
   if (it == entries_.end()) return;
   if (it->second.timer) it->second.timer->store(true);
+  if (it->second.span != 0) obs::Tracer::global().end(it->second.span, fabric_->now());
   // The request never left the station; it does not count as started.
   --stats_.started;
   entries_.erase(it);
@@ -244,6 +252,7 @@ void RpcTracker::deliver_terminal(std::uint64_t req_id, Entry taken, Error e) {
     ++stats_.exhausted;
   }
   RpcMetrics::get().exhausted.inc();
+  if (taken.span != 0) obs::Tracer::global().end(taken.span, fabric_->now());
   obs::FlightRecorder::global().record(
       obs::FlightKind::rpc_exhausted, e.to_string(), self_.value(), req_id,
       fabric_->now());

@@ -37,6 +37,7 @@
 
 #include "common/rng.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 
 namespace wdoc::net {
 
@@ -67,6 +68,12 @@ struct RpcOptions {
   SimTime deadline = SimTime::seconds(60);  // per attempt, not end-to-end
   std::uint32_t max_retries = 3;            // attempts = 1 + max_retries
   BackoffPolicy backoff;
+  // End-to-end trace this rpc belongs to (inactive = untraced). When
+  // active, the tracker opens one durable span named `trace_name` covering
+  // the whole lifecycle — every retry included — parented on trace.span_id,
+  // so cross-station rpcs render inside the initiating request's trace.
+  obs::TraceContext trace;
+  std::string trace_name;
 
   [[nodiscard]] Status validate() const;
 };
@@ -147,6 +154,7 @@ class RpcTracker {
     FailFn on_fail;                 // wraps `done` for terminal errors
     std::uint32_t attempt = 0;      // retries performed so far
     std::uint64_t epoch = 0;        // guards against stale timer firings
+    std::uint64_t span = 0;         // durable lifecycle span (0 = untraced)
     SimTime started;
     Fabric::TimerHandle timer;
   };

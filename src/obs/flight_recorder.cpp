@@ -17,6 +17,7 @@ const char* flight_kind_name(FlightKind k) {
     case FlightKind::fault: return "fault";
     case FlightKind::rpc_exhausted: return "rpc_exhausted";
     case FlightKind::failover: return "failover";
+    case FlightKind::slo_burn: return "slo_burn";
     case FlightKind::custom: return "custom";
   }
   return "?";

@@ -38,6 +38,7 @@ enum class FlightKind : std::uint8_t {
   fault,               // injected fault transition (crash, partition, burst)
   rpc_exhausted,       // rpc delivered a terminal error (timeout/unreachable)
   failover,            // peer declared dead / subtree reparented / resurrected
+  slo_burn,            // SLO burn-rate alert fired or cleared
   custom,              // anything else worth a post-mortem line
 };
 

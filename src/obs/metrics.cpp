@@ -30,8 +30,12 @@ std::size_t Histogram::bucket_of(double v) {
   return std::min(b, kBuckets - 1);
 }
 
-void Histogram::observe(double v) {
-  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+void Histogram::observe(double v, std::uint64_t exemplar_trace_id) {
+  const std::size_t b = bucket_of(v);
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[b].store(exemplar_trace_id, std::memory_order_relaxed);
+  }
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(std::isfinite(v) ? v : 0.0, std::memory_order_relaxed);
 }
@@ -61,6 +65,7 @@ double Histogram::quantile(double q) const {
 
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) e.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
 }
@@ -183,7 +188,10 @@ Snapshot MetricsRegistry::snapshot() const {
           s.hist_sum = h.sum();
           for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
             std::uint64_t c = h.bucket_count(i);
-            if (c != 0) s.hist_buckets.emplace_back(Histogram::upper_bound(i), c);
+            if (c != 0) {
+              s.hist_buckets.emplace_back(Histogram::upper_bound(i), c);
+              s.hist_exemplars.push_back(h.exemplar(i));
+            }
           }
           break;
         }
@@ -327,11 +335,14 @@ std::string to_json(const Snapshot& snap) {
     out += ",\"count\":" + fmt_num(static_cast<double>(s.hist_count));
     out += ",\"sum\":" + fmt_num(s.hist_sum);
     out += ",\"buckets\":[";
-    bool bfirst = true;
-    for (const auto& [le, c] : s.hist_buckets) {
-      if (!bfirst) out += ',';
-      bfirst = false;
-      out += "{\"le\":" + fmt_num(le) + ",\"count\":" + fmt_num(static_cast<double>(c)) + '}';
+    for (std::size_t i = 0; i < s.hist_buckets.size(); ++i) {
+      const auto& [le, c] = s.hist_buckets[i];
+      if (i != 0) out += ',';
+      out += "{\"le\":" + fmt_num(le) + ",\"count\":" + fmt_num(static_cast<double>(c));
+      if (i < s.hist_exemplars.size() && s.hist_exemplars[i] != 0) {
+        out += ",\"exemplar\":" + std::to_string(s.hist_exemplars[i]);
+      }
+      out += '}';
     }
     out += "]}";
   }

@@ -56,6 +56,13 @@ class Gauge {
 // to bucket 0. The unit is whatever the call site observes (we use
 // microseconds for latencies); boundaries are deterministic, so snapshots
 // diff cleanly across runs.
+//
+// Each bucket additionally retains an *exemplar*: the trace id of the most
+// recent sampled observation that landed in it (see obs/request_trace.hpp).
+// A fat p99 bucket in an exported snapshot thereby links to one concrete
+// promoted trace instead of an anonymous count. Exemplars are
+// station-local: the scrape wire format and hierarchical merge carry only
+// counts (a merged exemplar would name a trace the admin cannot resolve).
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
@@ -65,7 +72,10 @@ class Histogram {
   // Bucket index an observation lands in.
   [[nodiscard]] static std::size_t bucket_of(double v);
 
-  void observe(double v);
+  // `exemplar_trace_id`, when nonzero, is retained as the bucket's exemplar
+  // (callers pass the trace id only for requests actually promoted to the
+  // durable tracer, so exemplars always point at resolvable traces).
+  void observe(double v, std::uint64_t exemplar_trace_id = 0);
 
   [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -75,10 +85,15 @@ class Histogram {
   }
   // Nearest-bucket-upper-bound quantile estimate, q in [0, 1].
   [[nodiscard]] double quantile(double q) const;
+  // Most recent sampled trace id observed into bucket i (0 = none yet).
+  [[nodiscard]] std::uint64_t exemplar(std::size_t i) const {
+    return exemplars_[i].load(std::memory_order_relaxed);
+  }
   void reset();
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kBuckets> exemplars_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
 };
@@ -92,6 +107,7 @@ struct MetricSample {
   std::uint64_t hist_count = 0;   // histogram
   double hist_sum = 0;
   std::vector<std::pair<double, std::uint64_t>> hist_buckets;  // (upper bound, count), nonzero only
+  std::vector<std::uint64_t> hist_exemplars;  // aligned with hist_buckets; 0 = none
 
   // "name{k=v,k=v}" — the stable sort key used by every exporter.
   [[nodiscard]] std::string key() const;

@@ -1,0 +1,225 @@
+#include "obs/request_trace.hpp"
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace wdoc::obs {
+
+namespace {
+
+struct TraceMetrics {
+  Counter& requests;
+  Counter& promoted_head;
+  Counter& promoted_error;
+  Counter& promoted_tail;
+  Counter& discarded;
+  Counter& provisional_dropped;
+
+  static TraceMetrics& get() {
+    static TraceMetrics* m = [] {
+      auto& reg = MetricsRegistry::global();
+      return new TraceMetrics{
+          reg.counter("obs.trace.requests"),
+          reg.counter("obs.trace.promoted", {{"reason", "head"}}),
+          reg.counter("obs.trace.promoted", {{"reason", "error"}}),
+          reg.counter("obs.trace.promoted", {{"reason", "tail_latency"}}),
+          reg.counter("obs.trace.discarded"),
+          reg.counter("obs.trace.provisional_dropped"),
+      };
+    }();
+    return *m;
+  }
+};
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// The provisional buffer for the request currently open on this thread.
+struct ThreadState {
+  TraceContext ctx;             // ambient; ctx.span_id is the current parent
+  std::uint64_t root_span = 0;  // buffer index 0 when active
+  std::vector<SpanRecord> spans;
+  std::uint64_t overflow = 0;
+
+  void reset() {
+    ctx = {};
+    root_span = 0;
+    spans.clear();
+    overflow = 0;
+  }
+};
+
+thread_local ThreadState t_state;
+
+SpanRecord* find_span(std::vector<SpanRecord>& spans, std::uint64_t id) {
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RequestTracer& RequestTracer::global() {
+  static RequestTracer* t = new RequestTracer();  // never destroyed
+  return *t;
+}
+
+void RequestTracer::configure(const RequestTraceConfig& cfg) {
+  std::lock_guard<std::mutex> g(mu_);
+  cfg_ = cfg;
+  next_trace_.store(0, std::memory_order_relaxed);
+}
+
+RequestTraceConfig RequestTracer::config() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return cfg_;
+}
+
+TraceContext RequestTracer::mint() {
+  RequestTraceConfig cfg = config();
+  if (!cfg.enabled) return {};
+  const std::uint64_t n = next_trace_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::uint64_t id = splitmix64(cfg.seed * 0x2545f4914f6cdd1dULL + n);
+  if (id == 0) id = 1;
+  return TraceContext{id, 0, head_sampled(id)};
+}
+
+bool RequestTracer::head_sampled(std::uint64_t trace_id) const {
+  RequestTraceConfig cfg = config();
+  double rate = cfg.head_sample_rate;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  const auto threshold =
+      static_cast<std::uint64_t>(rate * 4294967296.0);  // rate * 2^32
+  const std::uint64_t coin =
+      splitmix64(trace_id ^ cfg.seed ^ 0x5a17b3c9d02e8f4bULL) & 0xffffffffULL;
+  return coin < threshold;
+}
+
+TraceContext RequestTracer::start_request(std::string name, SimTime at,
+                                          std::uint64_t station) {
+  ThreadState& t = t_state;
+  t.reset();  // a leaked previous request is discarded wholesale
+  TraceContext ctx = mint();
+  if (!ctx.active()) return ctx;
+  SpanRecord root;
+  root.id = Tracer::allocate_id();
+  root.trace_id = ctx.trace_id;
+  root.parent = 0;
+  root.station = station;
+  root.name = std::move(name);
+  root.start = at;
+  root.end = at;
+  t.spans.push_back(std::move(root));
+  ctx.span_id = t.spans.front().id;
+  t.ctx = ctx;
+  t.root_span = ctx.span_id;
+  return ctx;
+}
+
+bool RequestTracer::finish_request(const TraceContext& ctx, SimTime at, bool error) {
+  ThreadState& t = t_state;
+  if (!ctx.active() || t.ctx.trace_id != ctx.trace_id || t.spans.empty()) {
+    t.reset();
+    return false;
+  }
+  SpanRecord& root = t.spans.front();
+  root.end = at;
+  root.finished = true;
+  const std::int64_t latency = (at - root.start).as_micros();
+
+  RequestTraceConfig cfg = config();
+  auto& m = TraceMetrics::get();
+  m.requests.inc();
+  if (t.overflow != 0) m.provisional_dropped.inc(t.overflow);
+
+  // Head wins the tie so the head-sampled count is a pure function of the
+  // request count and seed — CI holds it to an exact baseline value even
+  // though tail promotions vary with machine timing.
+  Counter* reason = nullptr;
+  if (ctx.sampled) {
+    reason = &m.promoted_head;
+  } else if (error) {
+    reason = &m.promoted_error;
+  } else if (latency >= cfg.tail_latency_micros) {
+    reason = &m.promoted_tail;
+  }
+  bool promoted = reason != nullptr;
+  if (promoted) {
+    reason->inc();
+    Tracer::global().adopt(std::move(t.spans));
+  } else {
+    m.discarded.inc();
+  }
+  t.reset();
+  return promoted;
+}
+
+TraceContext RequestTracer::current() { return t_state.ctx; }
+
+std::uint64_t RequestTracer::begin_span(std::string name, SimTime at) {
+  ThreadState& t = t_state;
+  if (!t.ctx.active()) return 0;
+  if (t.spans.size() >= config().max_spans_per_request) {
+    ++t.overflow;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = Tracer::allocate_id();
+  rec.trace_id = t.ctx.trace_id;
+  rec.parent = t.ctx.span_id;
+  rec.station = t.spans.front().station;
+  rec.name = std::move(name);
+  rec.start = at;
+  rec.end = at;
+  t.spans.push_back(std::move(rec));
+  return t.spans.back().id;
+}
+
+void RequestTracer::end_span(std::uint64_t span_id, SimTime at) {
+  if (span_id == 0) return;
+  ThreadState& t = t_state;
+  SpanRecord* rec = find_span(t.spans, span_id);
+  if (rec == nullptr) return;
+  rec->end = at;
+  rec->finished = true;
+}
+
+// --- SpanScope ---------------------------------------------------------------
+
+SimTime SpanScope::wall_now() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return SimTime::micros(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+}
+
+SpanScope::SpanScope(std::string name) : SpanScope(std::move(name), wall_now()) {}
+
+SpanScope::SpanScope(std::string name, SimTime start) {
+  span_id_ = RequestTracer::global().begin_span(std::move(name), start);
+  // Children opened while this scope lives nest under it.
+  if (span_id_ != 0) t_state.ctx.span_id = span_id_;
+}
+
+void SpanScope::end(SimTime at) {
+  if (span_id_ == 0) return;
+  ThreadState& t = t_state;
+  RequestTracer::global().end_span(span_id_, at);
+  // Restore the parent chain if this scope is still the current parent.
+  if (t.ctx.span_id == span_id_) {
+    SpanRecord* rec = find_span(t.spans, span_id_);
+    t.ctx.span_id = rec != nullptr ? rec->parent : t.root_span;
+  }
+  span_id_ = 0;
+}
+
+SpanScope::~SpanScope() { end(wall_now()); }
+
+}  // namespace wdoc::obs

@@ -1,0 +1,127 @@
+// wdoc_obs — per-request tracing with head sampling and tail-based capture.
+//
+// The edge (the HTTP gateway) mints one TraceContext per request. The
+// request's spans are provisionally buffered in a bounded per-thread ring —
+// never in the durable Tracer — and the whole buffer is promoted at request
+// end only if the request
+//   * won the deterministic head-sampling coin (a seed-stable function of
+//     the trace id, so same-seed runs promote the same trace set),
+//   * errored (5xx at the edge), or
+//   * exceeded the tail-latency threshold.
+// Everything else is discarded wholesale. Slow and failed requests are
+// therefore ALWAYS fully traced, at any request rate, while the steady
+// state pays only the head-sample rate in durable-buffer space.
+//
+// Sampling state machine per request:
+//
+//   start_request ──▶ buffering (thread-local ring, real span ids)
+//        │ finish_request(at, error)
+//        ▼
+//   promote?  head-sampled ──────────────▶ adopt() into Tracer  [reason=head]
+//             error ─────────────────────▶ adopt()              [reason=error]
+//             latency >= tail threshold ─▶ adopt()              [reason=tail_latency]
+//             otherwise ─────────────────▶ discard (counted)
+//
+// A request is handled start-to-finish by one thread (the HTTP server's
+// worker-owns-connection model), so the ambient context is thread-local:
+// deep layers (federated search, the storage/txn path) attach spans with a
+// SpanScope and never thread a context through their signatures. Remote
+// stations join a trace via the wire fields on net::Message instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/sim_time.hpp"
+#include "obs/trace.hpp"
+
+namespace wdoc::obs {
+
+struct RequestTraceConfig {
+  bool enabled = true;
+  // Probability a request is head-sampled. The coin is a pure function of
+  // (trace_id, seed), so the promoted set is deterministic per seed.
+  double head_sample_rate = 0.01;
+  // Requests at least this slow are promoted even when not head-sampled.
+  std::int64_t tail_latency_micros = 20'000;
+  std::uint64_t seed = 0x7ace;
+  // Bound on the provisional per-request buffer; spans past it are counted
+  // in obs.trace.provisional_dropped and not recorded.
+  std::size_t max_spans_per_request = 128;
+};
+
+class RequestTracer {
+ public:
+  [[nodiscard]] static RequestTracer& global();
+
+  // Replaces the configuration and restarts trace-id minting from zero so
+  // same-seed runs reproduce the same trace ids. Call at startup (the
+  // gateway constructor does), not mid-traffic.
+  void configure(const RequestTraceConfig& cfg);
+  [[nodiscard]] RequestTraceConfig config() const;
+
+  // Mints a context (deterministic trace id + head-sample verdict) without
+  // opening a request on this thread. For initiators whose spans go
+  // straight to the durable Tracer (the dist layer's pushes).
+  [[nodiscard]] TraceContext mint();
+
+  // Head-sample verdict for a given trace id under the current config —
+  // exposed so tests and remote joiners can reproduce the coin.
+  [[nodiscard]] bool head_sampled(std::uint64_t trace_id) const;
+
+  // Opens a request on this thread: mints a context, begins the root span
+  // in the provisional buffer, and installs the context as this thread's
+  // ambient context. Returns an inactive context when disabled.
+  [[nodiscard]] TraceContext start_request(std::string name, SimTime at,
+                                           std::uint64_t station = 0);
+
+  // Ends the root span and applies the promotion decision. Returns true if
+  // the request's spans were adopted into the durable Tracer. Clears the
+  // thread's ambient context either way.
+  bool finish_request(const TraceContext& ctx, SimTime at, bool error);
+
+  // This thread's ambient context: trace id + current parent span. Inactive
+  // (trace_id 0) outside a start_request/finish_request window.
+  [[nodiscard]] static TraceContext current();
+
+  // Explicit span control under the ambient context, for call sites whose
+  // lifetime does not nest lexically. Returns 0 when no request is active.
+  [[nodiscard]] std::uint64_t begin_span(std::string name, SimTime at);
+  void end_span(std::uint64_t span_id, SimTime at);
+
+ private:
+  friend class SpanScope;
+
+  mutable std::mutex mu_;  // guards cfg_ swaps only; hot paths read a copy
+  RequestTraceConfig cfg_;
+  std::atomic<std::uint64_t> next_trace_{0};
+};
+
+// RAII provisional span under this thread's ambient request context. A
+// no-op when no request is active, so deep layers can use it
+// unconditionally. Times default to a monotonic wall clock (micros since
+// the first use in the process); pass explicit SimTimes for deterministic
+// tests.
+class SpanScope {
+ public:
+  explicit SpanScope(std::string name);
+  SpanScope(std::string name, SimTime start);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  // Ends the span early at `at`; the destructor then does nothing.
+  void end(SimTime at);
+
+  [[nodiscard]] bool active() const { return span_id_ != 0; }
+
+  // Monotonic wall clock: microseconds since first call in this process.
+  [[nodiscard]] static SimTime wall_now();
+
+ private:
+  std::uint64_t span_id_ = 0;
+};
+
+}  // namespace wdoc::obs

@@ -19,12 +19,16 @@ void encode_sample(Writer& w, const MetricSample& s) {
   w.u64(s.hist_count);
   w.f64(s.hist_sum);
   w.u32(static_cast<std::uint32_t>(s.hist_buckets.size()));
-  for (const auto& [le, c] : s.hist_buckets) {
+  for (std::size_t i = 0; i < s.hist_buckets.size(); ++i) {
+    const auto& [le, c] = s.hist_buckets[i];
     // +inf has no finite encoding on the wire; the last bucket's bound is
     // reconstructed from the sentinel.
     w.boolean(std::isinf(le));
     w.f64(std::isinf(le) ? 0.0 : le);
     w.u64(c);
+    // Bucket exemplar trace id (0 = none) rides along so a scraped
+    // single-station snapshot renders the same JSON as a local one.
+    w.u64(i < s.hist_exemplars.size() ? s.hist_exemplars[i] : 0);
   }
 }
 
@@ -58,6 +62,7 @@ Result<MetricSample> decode_sample(Reader& r) {
   auto nbuckets = r.count(17);
   if (!nbuckets) return nbuckets.error();
   s.hist_buckets.reserve(nbuckets.value());
+  s.hist_exemplars.reserve(nbuckets.value());
   for (std::uint32_t i = 0; i < nbuckets.value(); ++i) {
     auto inf = r.boolean();
     if (!inf) return inf.error();
@@ -65,8 +70,11 @@ Result<MetricSample> decode_sample(Reader& r) {
     if (!le) return le.error();
     auto c = r.u64();
     if (!c) return c.error();
+    auto ex = r.u64();
+    if (!ex) return ex.error();
     s.hist_buckets.emplace_back(
         inf.value() ? std::numeric_limits<double>::infinity() : le.value(), c.value());
+    s.hist_exemplars.push_back(ex.value());
   }
   return s;
 }
@@ -129,6 +137,9 @@ void merge_snapshot(Snapshot& dst, const Snapshot& src) {
     // come from a misbehaving peer, and the merge must stay total.
     MetricSample merged = std::move(dst.samples[i++]);
     const MetricSample& other = src.samples[j++];
+    // Exemplars are dropped on merge: a cross-station sum has no single
+    // trace that explains the bucket, so naming one would mislead.
+    merged.hist_exemplars.clear();
     merged.value += other.value;
     merged.hist_count += other.hist_count;
     merged.hist_sum += other.hist_sum;

@@ -2,43 +2,94 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
+#include "obs/metrics.hpp"
+
 namespace wdoc::obs {
+
+namespace {
+
+// Shared by every begin() and by provisional request buffers, so a span id
+// is unique process-wide no matter which path recorded it.
+std::atomic<std::uint64_t> g_next_span_id{0};
+
+}  // namespace
+
+std::uint64_t derive_trace_id(std::uint64_t key) {
+  // splitmix64 finalizer.
+  std::uint64_t x = key + 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
 
 Tracer& Tracer::global() {
   static Tracer* t = new Tracer();  // never destroyed
   return *t;
 }
 
+std::uint64_t Tracer::allocate_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Tracer::note_drop_locked(std::size_t n) {
+  const bool first = dropped_ == 0;
+  dropped_ += n;
+  MetricsRegistry::global().counter("obs.trace.dropped").inc(n);
+  if (first) {
+    WDOC_WARN("tracer: span buffer full (%zu spans); dropping new spans "
+              "(counted in obs.trace.dropped) until drain()/clear()",
+              kMaxSpans);
+  }
+}
+
 std::uint64_t Tracer::begin(std::string name, std::uint64_t parent, SimTime at,
-                            std::uint64_t station) {
-  if (!enabled_) return 0;
+                            std::uint64_t station, std::uint64_t trace_id) {
+  if (!enabled()) return 0;
+  std::uint64_t id = allocate_id();
   std::lock_guard<std::mutex> g(mu_);
   if (spans_.size() >= kMaxSpans) {
-    ++dropped_;
+    note_drop_locked(1);
     return 0;
   }
   SpanRecord rec;
-  rec.id = ++next_id_;
+  rec.id = id;
+  rec.trace_id = trace_id;
   rec.parent = parent;
   rec.station = station;
   rec.name = std::move(name);
   rec.start = at;
   rec.end = at;
+  index_.emplace(id, spans_.size());
   spans_.push_back(std::move(rec));
-  return spans_.back().id;
+  return id;
 }
 
 void Tracer::end(std::uint64_t id, SimTime at) {
   if (id == 0) return;
   std::lock_guard<std::mutex> g(mu_);
-  // Ids are dense and assigned in record order: span `id` lives at index
-  // id - (next_id_ - spans_.size()) - 1. Ids from before a clear() fall
-  // outside the window and are ignored.
-  std::uint64_t base = next_id_ - spans_.size();
-  if (id <= base || id > next_id_) return;
-  SpanRecord& rec = spans_[id - base - 1];
+  // Ids drained or cleared away are no longer in the index and are ignored.
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  SpanRecord& rec = spans_[it->second];
   rec.end = at;
   rec.finished = true;
+}
+
+std::size_t Tracer::adopt(std::vector<SpanRecord> records) {
+  std::lock_guard<std::mutex> g(mu_);
+  std::size_t kept = 0;
+  for (SpanRecord& rec : records) {
+    if (spans_.size() >= kMaxSpans) {
+      note_drop_locked(records.size() - kept);
+      break;
+    }
+    index_.emplace(rec.id, spans_.size());
+    spans_.push_back(std::move(rec));
+    ++kept;
+  }
+  return kept;
 }
 
 std::vector<SpanRecord> Tracer::spans() const {
@@ -50,8 +101,7 @@ std::vector<SpanRecord> Tracer::drain() {
   std::lock_guard<std::mutex> g(mu_);
   std::vector<SpanRecord> out = std::move(spans_);
   spans_ = {};
-  // next_id_ keeps counting: the id-window arithmetic in end() then treats
-  // drained ids like pre-clear() ids and ignores them.
+  index_.clear();
   dropped_ = 0;
   return out;
 }
@@ -69,13 +119,14 @@ std::uint64_t Tracer::dropped() const {
 void Tracer::clear() {
   std::lock_guard<std::mutex> g(mu_);
   spans_.clear();
+  index_.clear();
   dropped_ = 0;
 }
 
 std::string Tracer::to_json() const {
   std::vector<SpanRecord> snap = spans();
   std::string out = "[";
-  char buf[160];
+  char buf[192];
   for (std::size_t i = 0; i < snap.size(); ++i) {
     const SpanRecord& s = snap[i];
     std::string name;
@@ -84,9 +135,10 @@ std::string Tracer::to_json() const {
       name += c;
     }
     std::snprintf(buf, sizeof buf,
-                  "%s\n{\"id\":%llu,\"parent\":%llu,\"station\":%llu,\"name\":\"%s\","
-                  "\"start_us\":%lld,\"end_us\":%lld,\"finished\":%s}",
+                  "%s\n{\"id\":%llu,\"trace\":%llu,\"parent\":%llu,\"station\":%llu,"
+                  "\"name\":\"%s\",\"start_us\":%lld,\"end_us\":%lld,\"finished\":%s}",
                   i == 0 ? "" : ",", static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.trace_id),
                   static_cast<unsigned long long>(s.parent),
                   static_cast<unsigned long long>(s.station), name.c_str(),
                   static_cast<long long>(s.start.as_micros()),

@@ -1,6 +1,7 @@
 #include "obs/trace_export.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <map>
 #include <set>
@@ -31,6 +32,29 @@ void append_event_head(std::string& out, const char* ph, const std::string& name
                 static_cast<unsigned long long>(pid),
                 static_cast<unsigned long long>(pid), static_cast<long long>(ts));
   out += buf;
+}
+
+}  // namespace
+
+namespace {
+
+// Span args: "span"/"parent" (rebased), plus "trace" when the span belongs
+// to an end-to-end trace. Trace ids are NOT rebased: they are minted
+// deterministically (per-seed at the HTTP edge, from transfer ids in the
+// dist layer), so exports stay byte-identical for same-seed runs while the
+// raw id still matches histogram-bucket exemplars and /debug/slo output.
+void append_span_args(std::string& out, std::uint64_t span, std::uint64_t parent,
+                      std::uint64_t trace_id) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "\"span\":%llu,\"parent\":%llu",
+                static_cast<unsigned long long>(span),
+                static_cast<unsigned long long>(parent));
+  out += buf;
+  if (trace_id != 0) {
+    std::snprintf(buf, sizeof buf, ",\"trace\":%llu",
+                  static_cast<unsigned long long>(trace_id));
+    out += buf;
+  }
 }
 
 }  // namespace
@@ -80,23 +104,20 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
     sep();
     if (s.finished) {
       append_event_head(out, "X", s.name, s.station, s.start.as_micros());
-      std::snprintf(buf, sizeof buf,
-                    ",\"dur\":%lld,\"args\":{\"span\":%llu,\"parent\":%llu}}",
-                    static_cast<long long>((s.end - s.start).as_micros()),
-                    static_cast<unsigned long long>(s.id - base),
-                    static_cast<unsigned long long>(rebase(s.parent)));
+      std::snprintf(buf, sizeof buf, ",\"dur\":%lld,\"args\":{",
+                    static_cast<long long>((s.end - s.start).as_micros()));
+      out += buf;
+      append_span_args(out, s.id - base, rebase(s.parent), s.trace_id);
+      out += "}}";
     } else {
       // Explicitly an instant: the span never ended (still open at export,
       // or its station died mid-operation) — flag it rather than faking a
       // zero-duration completed slice.
       append_event_head(out, "i", s.name, s.station, s.start.as_micros());
-      std::snprintf(buf, sizeof buf,
-                    ",\"s\":\"p\",\"args\":{\"span\":%llu,\"parent\":%llu,"
-                    "\"finished\":false}}",
-                    static_cast<unsigned long long>(s.id - base),
-                    static_cast<unsigned long long>(rebase(s.parent)));
+      out += ",\"s\":\"p\",\"args\":{";
+      append_span_args(out, s.id - base, rebase(s.parent), s.trace_id);
+      out += ",\"finished\":false}}";
     }
-    out += buf;
 
     // Cross-station parentage renders as a flow arrow from the parent's
     // slice to this one (one flow id per child span).
@@ -121,8 +142,46 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans) {
   return out;
 }
 
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans, const Snapshot& snap) {
+  std::string out = to_chrome_trace(spans);
+  // Splice exemplar instants in before the closing "]}\n". Each is the
+  // bridge from a histogram bucket to the promoted trace behind it: a
+  // Perfetto search for the "trace" value lands on the request's spans.
+  std::string events;
+  char buf[128];
+  for (const MetricSample& s : snap.samples) {
+    if (s.kind != MetricSample::Kind::histogram) continue;
+    for (std::size_t i = 0; i < s.hist_buckets.size() && i < s.hist_exemplars.size();
+         ++i) {
+      if (s.hist_exemplars[i] == 0) continue;
+      events += ",\n";
+      append_event_head(events, "i", "exemplar:" + s.key(), 0, 0);
+      const double le = s.hist_buckets[i].first;
+      if (std::isinf(le)) {
+        std::snprintf(buf, sizeof buf,
+                      ",\"s\":\"g\",\"args\":{\"le\":\"+inf\",\"count\":%llu,"
+                      "\"trace\":%llu}}",
+                      static_cast<unsigned long long>(s.hist_buckets[i].second),
+                      static_cast<unsigned long long>(s.hist_exemplars[i]));
+      } else {
+        std::snprintf(buf, sizeof buf,
+                      ",\"s\":\"g\",\"args\":{\"le\":%.0f,\"count\":%llu,\"trace\":%llu}}",
+                      le, static_cast<unsigned long long>(s.hist_buckets[i].second),
+                      static_cast<unsigned long long>(s.hist_exemplars[i]));
+      }
+      events += buf;
+    }
+  }
+  if (!events.empty()) {
+    const std::string tail = "\n]}\n";
+    out.replace(out.size() - tail.size(), tail.size(), events + tail);
+  }
+  return out;
+}
+
 bool write_trace_file(const std::string& path) {
-  std::string body = to_chrome_trace(Tracer::global().drain());
+  std::string body = to_chrome_trace(Tracer::global().drain(),
+                                     MetricsRegistry::global().snapshot());
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     WDOC_ERROR("trace: cannot open %s", path.c_str());

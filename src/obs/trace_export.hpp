@@ -16,15 +16,25 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace wdoc::obs {
 
-// Chrome trace-event JSON for the given spans.
+// Chrome trace-event JSON for the given spans. Spans belonging to an
+// end-to-end trace carry a "trace" arg (the trace id), so one slow request
+// is recoverable by searching the export for its id.
 [[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans);
 
-// Drains the global tracer and writes to_chrome_trace() to `path`.
-// Returns false (and logs) on I/O failure.
+// Same, plus one instant event per histogram-bucket exemplar in `snap`
+// (name "exemplar:<metric key>", args: le / count / trace id) — the link
+// from a fat latency bucket to the concrete promoted trace behind it.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<SpanRecord>& spans,
+                                          const Snapshot& snap);
+
+// Drains the global tracer, snapshots the global registry for exemplars,
+// and writes to_chrome_trace() to `path`. Returns false (and logs) on I/O
+// failure.
 bool write_trace_file(const std::string& path);
 
 // Scans argv for "--trace-json=<path>" and returns the path (empty if

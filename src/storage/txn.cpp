@@ -4,6 +4,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
 
 namespace wdoc::storage {
 
@@ -406,6 +407,9 @@ Result<std::vector<RowId>> Txn::find_equal(const std::string& table,
 Status Txn::commit() {
   WDOC_CHECK(active_, "double commit");
   active_ = false;
+  // Joins the ambient request trace (no-op outside one), so a gateway
+  // request that commits shows the commit inside its span tree.
+  obs::SpanScope span("txn.commit");
   return mgr_->finish_commit(*this);
 }
 

@@ -3,6 +3,7 @@
 // endpoints over VirtualLibrary + storage, and the real socket server.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "http/client.hpp"
@@ -10,6 +11,8 @@
 #include "http/parser.hpp"
 #include "http/search.hpp"
 #include "http/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "storage/database.hpp"
 #include "workload/library_corpus.hpp"
 
@@ -274,7 +277,8 @@ Request make_request(Method m, const std::string& target) {
 }
 
 struct GatewayHarness {
-  GatewayHarness() : db(storage::Database::in_memory()), docs(*db) {
+  explicit GatewayHarness(const GatewayConfig& gw_cfg = GatewayConfig{})
+      : db(storage::Database::in_memory()), docs(*db) {
     workload::LibraryCorpusConfig cfg;
     cfg.courses = 30;
     cfg.shards = 2;
@@ -284,7 +288,7 @@ struct GatewayHarness {
     for (const auto& e : entries) {
       docs.put(e.course_number, workload::course_document(e)).expect("put doc");
     }
-    gateway = std::make_unique<Gateway>(GatewayConfig{},
+    gateway = std::make_unique<Gateway>(gw_cfg,
                                         std::vector<library::VirtualLibrary*>{
                                             &libs[0], &libs[1]},
                                         &docs);
@@ -383,6 +387,74 @@ TEST(Gateway, HealthMetricsAndQuit) {
   EXPECT_FALSE(quit.keep_alive);
   EXPECT_TRUE(h.gateway->quit_requested());
   EXPECT_EQ(h.gateway->handle(make_request(Method::get, "/nope")).status, 404);
+}
+
+TEST(Gateway, MetricsIsJsonWithBucketBounds) {
+  GatewayHarness h;
+  (void)h.gateway->handle(make_request(Method::get, "/search?q=storage"));
+  Response metrics = h.gateway->handle(make_request(Method::get, "/metrics"));
+  EXPECT_EQ(metrics.status, 200);
+  ASSERT_TRUE(metrics.headers.count("Content-Type"));
+  EXPECT_EQ(metrics.headers.at("Content-Type"), "application/json");
+  // Histograms expose their bucket boundaries, not just aggregates.
+  EXPECT_NE(metrics.body.find("http.request_micros"), std::string::npos);
+  EXPECT_NE(metrics.body.find("\"buckets\":["), std::string::npos);
+  EXPECT_NE(metrics.body.find("\"le\":"), std::string::npos);
+}
+
+TEST(Gateway, DebugSloSnapshotAndGating) {
+  GatewayHarness h;
+  (void)h.gateway->handle(make_request(Method::get, "/doc?course=" + h.first_course));
+  Response slo = h.gateway->handle(make_request(Method::get, "/debug/slo"));
+  EXPECT_EQ(slo.status, 200);
+  EXPECT_EQ(slo.headers.at("Content-Type"), "application/json");
+  for (const char* needle : {"http.search.latency", "http.doc.latency",
+                             "http.availability", "\"windows\"", "\"fast_alert\""}) {
+    EXPECT_NE(slo.body.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_EQ(h.gateway->handle(make_request(Method::post, "/debug/slo")).status, 405);
+
+  GatewayConfig off;
+  off.enable_debug = false;
+  GatewayHarness h2(off);
+  EXPECT_EQ(h2.gateway->handle(make_request(Method::get, "/debug/slo")).status, 404);
+}
+
+TEST(Gateway, SlowDocRequestIsTailPromotedWithExemplar) {
+  GatewayConfig cfg;
+  cfg.trace.head_sample_rate = 0.0;  // only the tail path may promote
+  cfg.trace.tail_latency_micros = 0;  // every request counts as slow
+  GatewayHarness h(cfg);
+  obs::Tracer::global().clear();
+  auto& doc_hist = obs::MetricsRegistry::global().histogram(
+      "http.request_micros", {{"endpoint", "doc"}});
+  doc_hist.reset();  // drop exemplars left by earlier tests
+
+  Response rsp =
+      h.gateway->handle(make_request(Method::get, "/doc?course=" + h.first_course));
+  EXPECT_EQ(rsp.status, 200);
+
+  // The whole request tree was promoted: edge root, handler, storage fetch.
+  auto spans = obs::Tracer::global().spans();
+  std::uint64_t trace = 0;
+  for (const auto& s : spans) {
+    if (s.name == "GET /doc") trace = s.trace_id;
+  }
+  ASSERT_NE(trace, 0u) << "tail sampling must promote the slow request";
+  std::set<std::string> names;
+  for (const auto& s : spans) {
+    if (s.trace_id == trace) names.insert(s.name);
+  }
+  EXPECT_TRUE(names.count("gateway.doc"));
+  EXPECT_TRUE(names.count("storage.doc.fetch"));
+
+  // The latency histogram's exemplar points back at that same trace.
+  bool exemplar_found = false;
+  for (std::size_t i = 0; i < obs::Histogram::kBuckets; ++i) {
+    if (doc_hist.exemplar(i) == trace) exemplar_found = true;
+  }
+  EXPECT_TRUE(exemplar_found) << "p-bucket exemplar must resolve to the trace";
+  obs::Tracer::global().clear();
 }
 
 // --- server round trip ------------------------------------------------------

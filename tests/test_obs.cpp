@@ -5,7 +5,10 @@
 // recorder ring.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -210,6 +213,128 @@ TEST(Tracer, DrainMovesBufferAndInvalidatesOldIds) {
 
   tr.set_enabled(false);
   tr.clear();
+}
+
+TEST(Tracer, AdoptAppendsFinishedRecordsAndIgnoresEnabledGate) {
+  Tracer& tr = Tracer::global();
+  tr.set_enabled(false);  // adopt must work anyway: promotion already decided
+  tr.clear();
+
+  std::vector<SpanRecord> batch(2);
+  batch[0].id = Tracer::allocate_id();
+  batch[0].trace_id = 77;
+  batch[0].name = "root";
+  batch[0].finished = true;
+  batch[1].id = Tracer::allocate_id();
+  batch[1].trace_id = 77;
+  batch[1].parent = batch[0].id;
+  batch[1].name = "child";
+  batch[1].finished = true;
+  EXPECT_EQ(tr.adopt(std::move(batch)), 2u);
+
+  auto spans = tr.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].trace_id, 77u);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  tr.clear();
+}
+
+TEST(Tracer, CapacityDropsAreCounted) {
+  Tracer& tr = Tracer::global();
+  tr.set_enabled(true);
+  tr.clear();
+  auto& dropped_counter = MetricsRegistry::global().counter("obs.trace.dropped");
+  const std::uint64_t dropped_before = dropped_counter.value();
+
+  std::vector<SpanRecord> flood(Tracer::kMaxSpans);
+  for (auto& s : flood) s.id = Tracer::allocate_id();
+  EXPECT_EQ(tr.adopt(std::move(flood)), Tracer::kMaxSpans);
+
+  // The buffer is full: begin() refuses (returns 0) and counts the drop.
+  EXPECT_EQ(tr.begin("overflow", 0, SimTime::zero()), 0u);
+  EXPECT_EQ(tr.dropped(), 1u);
+  std::vector<SpanRecord> more(3);
+  for (auto& s : more) s.id = Tracer::allocate_id();
+  EXPECT_EQ(tr.adopt(std::move(more)), 0u);
+  EXPECT_EQ(tr.dropped(), 4u);
+  EXPECT_EQ(dropped_counter.value(), dropped_before + 4);
+
+  tr.set_enabled(false);
+  tr.clear();
+}
+
+// Workers emit spans while a collector repeatedly drains: every span id must
+// end up in exactly one drained batch (run under TSan via WDOC_SANITIZE).
+TEST(Tracer, ConcurrentDrainLosesNoSpans) {
+  Tracer& tr = Tracer::global();
+  tr.set_enabled(true);
+  tr.clear();
+
+  constexpr int kWorkers = 4;
+  constexpr int kSpansPerWorker = 2000;
+  std::atomic<bool> done{false};
+  std::vector<std::vector<SpanRecord>> batches;
+  std::thread collector([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      batches.push_back(tr.drain());
+    }
+    batches.push_back(tr.drain());
+  });
+
+  std::vector<std::thread> workers;
+  std::array<std::vector<std::uint64_t>, kWorkers> emitted;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kSpansPerWorker; ++i) {
+        std::uint64_t id = tr.begin("w", 0, SimTime::micros(i), w);
+        if (id != 0) {
+          tr.end(id, SimTime::micros(i + 1));
+          emitted[w].push_back(id);
+        }
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  done.store(true, std::memory_order_release);
+  collector.join();
+
+  std::set<std::uint64_t> seen;
+  std::size_t total = 0;
+  for (const auto& b : batches) {
+    for (const SpanRecord& s : b) {
+      EXPECT_TRUE(seen.insert(s.id).second) << "span id drained twice";
+      ++total;
+    }
+  }
+  std::size_t expected = 0;
+  for (const auto& e : emitted) {
+    expected += e.size();
+    for (std::uint64_t id : e) EXPECT_EQ(seen.count(id), 1u);
+  }
+  EXPECT_EQ(total, expected);
+  tr.set_enabled(false);
+  tr.clear();
+}
+
+TEST(Histogram, ExemplarRetainsMostRecentSampledTrace) {
+  Histogram h;
+  h.observe(3.0);                 // no exemplar
+  EXPECT_EQ(h.exemplar(Histogram::bucket_of(3.0)), 0u);
+  h.observe(3.0, 41);
+  h.observe(3.0, 42);             // most recent wins
+  h.observe(3.0);                 // unsampled observation must not clear it
+  EXPECT_EQ(h.exemplar(Histogram::bucket_of(3.0)), 42u);
+  h.reset();
+  EXPECT_EQ(h.exemplar(Histogram::bucket_of(3.0)), 0u);
+}
+
+TEST(Snapshot, JsonCarriesExemplars) {
+  auto& reg = MetricsRegistry::global();
+  auto& h = reg.histogram("obs_test.exemplar_hist");
+  h.reset();
+  h.observe(100.0, 987654321);
+  std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"exemplar\":987654321"), std::string::npos);
 }
 
 // --- snapshot wire format / merging ------------------------------------------

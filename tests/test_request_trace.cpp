@@ -1,0 +1,238 @@
+// obs::RequestTracer: deterministic head sampling, tail-based promotion,
+// SpanScope parent chains, per-request span caps, and byte-identical
+// same-seed Perfetto exports of the promoted trace set.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/request_trace.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+
+using namespace wdoc;
+using namespace wdoc::obs;
+
+namespace {
+
+RequestTraceConfig config_with(double head_rate, std::int64_t tail_micros,
+                               std::uint64_t seed = 0x7ace) {
+  RequestTraceConfig cfg;
+  cfg.head_sample_rate = head_rate;
+  cfg.tail_latency_micros = tail_micros;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// Runs `n` fast requests and returns the promoted trace ids, in order.
+std::vector<std::uint64_t> promoted_ids(const RequestTraceConfig& cfg, int n) {
+  auto& rt = RequestTracer::global();
+  rt.configure(cfg);
+  Tracer::global().clear();
+  std::vector<std::uint64_t> out;
+  for (int i = 0; i < n; ++i) {
+    TraceContext ctx = rt.start_request("GET /x", SimTime::micros(i * 10));
+    if (rt.finish_request(ctx, SimTime::micros(i * 10 + 1), /*error=*/false)) {
+      out.push_back(ctx.trace_id);
+    }
+  }
+  Tracer::global().clear();
+  return out;
+}
+
+TEST(RequestTracer, HeadSamplingIsDeterministicPerSeed) {
+  auto a = promoted_ids(config_with(0.25, 1'000'000), 400);
+  auto b = promoted_ids(config_with(0.25, 1'000'000), 400);
+  EXPECT_EQ(a, b) << "same seed must promote the identical trace set";
+  EXPECT_GT(a.size(), 40u);   // ~100 expected at 25%
+  EXPECT_LT(a.size(), 180u);
+
+  auto c = promoted_ids(config_with(0.25, 1'000'000, /*seed=*/99), 400);
+  EXPECT_NE(a, c) << "a different seed must flip different coins";
+
+  EXPECT_TRUE(promoted_ids(config_with(0.0, 1'000'000), 100).empty());
+  EXPECT_EQ(promoted_ids(config_with(1.0, 1'000'000), 100).size(), 100u);
+}
+
+TEST(RequestTracer, HeadVerdictIsPureFunctionOfTraceId) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(0.5, 1'000'000));
+  TraceContext ctx = rt.mint();
+  // Re-asking later (e.g. a remote station reproducing the coin) agrees.
+  EXPECT_EQ(rt.head_sampled(ctx.trace_id), ctx.sampled);
+  EXPECT_EQ(rt.head_sampled(ctx.trace_id), rt.head_sampled(ctx.trace_id));
+}
+
+TEST(RequestTracer, TailLatencyPromotesSlowRequests) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(0.0, /*tail_micros=*/5'000));
+  Tracer::global().clear();
+
+  TraceContext fast = rt.start_request("GET /fast", SimTime::micros(0));
+  EXPECT_FALSE(rt.finish_request(fast, SimTime::micros(4'999), false));
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+
+  TraceContext slow = rt.start_request("GET /slow", SimTime::micros(0));
+  EXPECT_TRUE(rt.finish_request(slow, SimTime::micros(5'000), false));
+  auto spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, slow.trace_id);
+  EXPECT_EQ(spans[0].name, "GET /slow");
+  EXPECT_TRUE(spans[0].finished);
+  Tracer::global().clear();
+}
+
+TEST(RequestTracer, ErrorsArePromotedRegardlessOfLatency) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(0.0, 1'000'000));
+  Tracer::global().clear();
+  TraceContext ctx = rt.start_request("GET /boom", SimTime::micros(0));
+  EXPECT_TRUE(rt.finish_request(ctx, SimTime::micros(1), /*error=*/true));
+  EXPECT_EQ(Tracer::global().span_count(), 1u);
+  Tracer::global().clear();
+}
+
+TEST(RequestTracer, PromotionReasonPrecedenceIsHeadFirst) {
+  // A head-sampled slow error counts once, as reason=head — that keeps the
+  // head counter an exact function of (seed, request count) for CI.
+  auto& rt = RequestTracer::global();
+  auto& reg = MetricsRegistry::global();
+  auto& head = reg.counter("obs.trace.promoted", {{"reason", "head"}});
+  auto& err = reg.counter("obs.trace.promoted", {{"reason", "error"}});
+  auto& tail = reg.counter("obs.trace.promoted", {{"reason", "tail_latency"}});
+  rt.configure(config_with(1.0, /*tail_micros=*/1));
+  Tracer::global().clear();
+
+  const auto head0 = head.value();
+  const auto err0 = err.value();
+  const auto tail0 = tail.value();
+  TraceContext ctx = rt.start_request("GET /slow-error", SimTime::micros(0));
+  EXPECT_TRUE(rt.finish_request(ctx, SimTime::micros(100), /*error=*/true));
+  EXPECT_EQ(head.value(), head0 + 1);
+  EXPECT_EQ(err.value(), err0);
+  EXPECT_EQ(tail.value(), tail0);
+  Tracer::global().clear();
+}
+
+TEST(RequestTracer, SpanScopeNestsUnderAmbientContext) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(1.0, 1'000'000));
+  Tracer::global().clear();
+
+  TraceContext ctx = rt.start_request("GET /nested", SimTime::micros(0));
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    SpanScope outer("outer", SimTime::micros(1));
+    outer_id = RequestTracer::current().span_id;
+    {
+      SpanScope inner("inner", SimTime::micros(2));
+      inner_id = RequestTracer::current().span_id;
+      inner.end(SimTime::micros(3));
+    }
+    // Parent chain restored after the inner scope closed.
+    EXPECT_EQ(RequestTracer::current().span_id, outer_id);
+    outer.end(SimTime::micros(4));
+  }
+  EXPECT_EQ(RequestTracer::current().span_id, ctx.span_id);
+  ASSERT_TRUE(rt.finish_request(ctx, SimTime::micros(5), false));
+
+  auto spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 3u);  // root + outer + inner
+  EXPECT_EQ(spans[0].name, "GET /nested");
+  EXPECT_EQ(spans[1].id, outer_id);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].id, inner_id);
+  EXPECT_EQ(spans[2].parent, outer_id);
+  for (const auto& s : spans) {
+    EXPECT_EQ(s.trace_id, ctx.trace_id);
+    EXPECT_TRUE(s.finished);
+  }
+  Tracer::global().clear();
+}
+
+TEST(RequestTracer, SpanScopeIsNoopOutsideARequest) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(1.0, 1'000'000));
+  Tracer::global().clear();
+  EXPECT_FALSE(RequestTracer::current().active());
+  SpanScope scope("orphan", SimTime::micros(1));
+  EXPECT_FALSE(scope.active());
+  scope.end(SimTime::micros(2));
+  EXPECT_EQ(Tracer::global().span_count(), 0u);
+  EXPECT_EQ(rt.begin_span("orphan2", SimTime::micros(3)), 0u);
+}
+
+TEST(RequestTracer, PerRequestSpanCapCountsProvisionalDrops) {
+  auto& rt = RequestTracer::global();
+  RequestTraceConfig cfg = config_with(1.0, 1'000'000);
+  cfg.max_spans_per_request = 4;  // root + 3 children
+  rt.configure(cfg);
+  Tracer::global().clear();
+  auto& dropped =
+      MetricsRegistry::global().counter("obs.trace.provisional_dropped");
+  const auto dropped0 = dropped.value();
+
+  TraceContext ctx = rt.start_request("GET /fanout", SimTime::micros(0));
+  int recorded = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t id = rt.begin_span("child", SimTime::micros(i + 1));
+    if (id != 0) {
+      ++recorded;
+      rt.end_span(id, SimTime::micros(i + 2));
+    }
+  }
+  EXPECT_EQ(recorded, 3);
+  ASSERT_TRUE(rt.finish_request(ctx, SimTime::micros(50), false));
+  EXPECT_EQ(Tracer::global().span_count(), 4u);
+  EXPECT_EQ(dropped.value(), dropped0 + 7);
+  Tracer::global().clear();
+}
+
+TEST(RequestTracer, SameSeedExportsAreByteIdentical) {
+  auto run = [](std::uint64_t seed) {
+    auto& rt = RequestTracer::global();
+    rt.configure(config_with(0.3, /*tail_micros=*/500, seed));
+    Tracer::global().clear();
+    for (int i = 0; i < 50; ++i) {
+      TraceContext ctx =
+          rt.start_request("GET /r" + std::to_string(i % 4), SimTime::micros(i * 100));
+      SpanScope child("work", SimTime::micros(i * 100 + 10));
+      child.end(SimTime::micros(i * 100 + 20));
+      // Every 7th request is slow enough for tail promotion.
+      const std::int64_t latency = (i % 7 == 0) ? 600 : 90;
+      (void)rt.finish_request(ctx, SimTime::micros(i * 100 + latency), false);
+    }
+    std::string json = to_chrome_trace(Tracer::global().drain());
+    return json;
+  };
+  std::string a = run(0xabc);
+  std::string b = run(0xabc);
+  EXPECT_EQ(a, b) << "same seed, same explicit clock -> identical export";
+  // Promoted trace ids appear in the export (raw, not rebased).
+  EXPECT_NE(a.find("\"trace\":"), std::string::npos);
+  std::string c = run(0xdef);
+  EXPECT_NE(a, c);
+}
+
+TEST(RequestTracer, LeakedRequestIsDiscardedByNextStart) {
+  auto& rt = RequestTracer::global();
+  rt.configure(config_with(1.0, 1'000'000));
+  Tracer::global().clear();
+  TraceContext leaked = rt.start_request("GET /leaked", SimTime::micros(0));
+  ASSERT_TRUE(leaked.active());
+  // A new request on the same thread discards the stale buffer wholesale.
+  TraceContext fresh = rt.start_request("GET /fresh", SimTime::micros(10));
+  EXPECT_TRUE(rt.finish_request(fresh, SimTime::micros(11), false));
+  // Only the fresh request's root was promoted.
+  auto spans = Tracer::global().spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "GET /fresh");
+  // Finishing the leaked context after the fact is a counted no-op.
+  EXPECT_FALSE(rt.finish_request(leaked, SimTime::micros(20), false));
+  Tracer::global().clear();
+}
+
+}  // namespace

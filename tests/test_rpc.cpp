@@ -241,6 +241,34 @@ TEST_F(TrackerFixture, FailDeliversTerminalErrorOnce) {
 
 // Same seed, same scenario: the retry/backoff schedule is bit-identical, so
 // the terminal failure lands at exactly the same simulated instant.
+TEST_F(TrackerFixture, LifecycleSpanJoinsCallerTrace) {
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  RpcOptions opts;
+  opts.deadline = SimTime::seconds(1);
+  opts.trace = obs::TraceContext{/*trace_id=*/0xabcd, /*span_id=*/77, true};
+  opts.trace_name = "rpc.unit";
+  rpc.track<int>(
+      5, opts, [](Result<int>, SimTime) {},
+      [](std::uint32_t) { return Status::ok(); });
+  net.schedule_after(SimTime::millis(10), [&] { EXPECT_TRUE(rpc.complete<int>(5, 1)); });
+  net.run();
+
+  // One durable span covering the whole rpc, parented on the caller's span
+  // and stamped with the caller's trace id and this station.
+  auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "rpc.unit");
+  EXPECT_EQ(spans[0].trace_id, 0xabcdu);
+  EXPECT_EQ(spans[0].parent, 77u);
+  EXPECT_EQ(spans[0].station, self.value());
+  EXPECT_TRUE(spans[0].finished);
+  EXPECT_EQ(spans[0].end, SimTime::millis(10));
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+
 TEST(RpcDeterminism, SameSeedExhaustsAtTheSameInstant) {
   auto run_once = [] {
     net::SimNetwork net(1234);

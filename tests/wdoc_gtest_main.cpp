@@ -5,11 +5,30 @@
 // lock waits, watermark replications, migrations, repairs) from the failing
 // run is part of its output. The recorder is cleared between tests so a
 // dump only shows events from the test that failed.
+//
+// When WDOC_FAIL_ARTIFACT_DIR is set (CI does this), a failing test also
+// writes durable failure artifacts there: a Perfetto trace of whatever the
+// span tracer holds, and a /debug/slo-equivalent snapshot of every live
+// SloEngine — so a red run can be debugged from the uploaded artifacts
+// without reproducing it locally.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
 #include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
+#include "obs/trace_export.hpp"
 
 namespace {
+
+void write_text_file(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
 
 class FlightRecorderOnFailure : public testing::EmptyTestEventListener {
  public:
@@ -17,11 +36,20 @@ class FlightRecorderOnFailure : public testing::EmptyTestEventListener {
     wdoc::obs::FlightRecorder::global().clear();
   }
   void OnTestEnd(const testing::TestInfo& info) override {
-    if (info.result() != nullptr && info.result()->Failed()) {
-      std::string banner = std::string("flight recorder — ") +
-                           info.test_suite_name() + "." + info.name();
-      wdoc::obs::FlightRecorder::global().dump_to_stderr(banner.c_str());
-    }
+    if (info.result() == nullptr || !info.result()->Failed()) return;
+    const std::string name =
+        std::string(info.test_suite_name()) + "." + info.name();
+    wdoc::obs::FlightRecorder::global().dump_to_stderr(
+        ("flight recorder — " + name).c_str());
+
+    const char* dir = std::getenv("WDOC_FAIL_ARTIFACT_DIR");
+    if (dir == nullptr || *dir == '\0') return;
+    const std::string base = std::string(dir) + "/" + name;
+    write_text_file(base + ".trace.json",
+                    wdoc::obs::to_chrome_trace(
+                        wdoc::obs::Tracer::global().spans(),
+                        wdoc::obs::MetricsRegistry::global().snapshot()));
+    write_text_file(base + ".slo.json", wdoc::obs::SloEngine::dump_all());
   }
 };
 
