@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
   std::printf("10 MB lecture, 10 Mb/s station links, 30 ms RTT\n\n");
   const std::uint64_t lecture_bytes = 10 << 20;
 
-  for (std::size_t n : {15u, 63u, 255u}) {
+  // 1023 at m=2 is a depth-9 tree — the regime the O(log n) event fabric
+  // and zero-copy relay were built for.
+  for (std::size_t n : {15u, 63u, 255u, 1023u}) {
     std::printf("N = %zu stations\n", n);
     std::printf("  %10s %8s %14s %14s %9s %18s %10s\n", "m", "depth",
                 "store-fwd(s)", "pipelined(s)", "speedup", "root uplink(MB)",

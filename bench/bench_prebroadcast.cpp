@@ -72,10 +72,48 @@ PlaybackResult play_on_demand(SimCluster& cluster, const dist::DocManifest& doc,
   return out;
 }
 
+// Scale smoke (--n=<stations>): one chunked full-lecture pre-broadcast on a
+// binary tree of the requested size. Exercises the O(log n) fabric and the
+// zero-copy relay path at populations the E3 matrix never reaches; CI runs
+// it at N=1023 (depth 9) under a wall-clock budget and diff-checks the
+// payload-copy counters. Returns nonzero if any station misses the lecture.
+int run_scale_smoke(std::size_t n) {
+  std::printf("=== pre-broadcast scale smoke: N=%zu, binary tree ===\n", n);
+  SimCluster cluster(n, 2, kCampusLink);
+  // A modest lecture: the point is fan-out breadth, not per-link volume.
+  auto doc = make_lecture("http://mmu.edu/lec-scale", 2ull << 20, cluster.id(0), 4);
+  cluster.node(0).broadcast_push(doc).expect("push");
+  cluster.net().run();
+  const std::size_t delivered = cluster.count_materialized(doc.doc_key);
+  std::printf("delivered %zu/%zu, sim makespan %.2f s\n", delivered, n,
+              cluster.net().now().as_seconds());
+  std::printf("payload copies: %llu (%llu bytes)\n",
+              static_cast<unsigned long long>(net::Payload::copies_total()),
+              static_cast<unsigned long long>(net::Payload::bytes_copied_total()));
+  return delivered == n ? 0 : 1;
+}
+
+// Strips --n=<stations> from argv; 0 = not present.
+std::size_t scale_arg(int& argc, char** argv) {
+  std::size_t n = 0;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      n = static_cast<std::size_t>(std::strtoull(arg.c_str() + 4, nullptr, 10));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return n;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   MetricsDump metrics(argc, argv);
+  if (std::size_t n = scale_arg(argc, argv); n != 0) return run_scale_smoke(n);
   std::printf("=== E3: pre-broadcast vs on-demand lecture playback ===\n");
   std::printf("lecture: 15 BLOBs, deadline every 120 s; 10 Mb/s links\n\n");
 
@@ -138,6 +176,47 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  // C1 at depth: the same 10 MB-per-BLOB lecture, but the student sits at
+  // the deepest leaf of progressively taller binary trees. On-demand cost
+  // is depth-independent (the fetch tunnels to the instructor), while the
+  // pre-broadcast preload pays the tree — so this isolates how the chunked
+  // relay keeps deep trees affordable where store-and-forward cannot.
+  std::printf("depth scaling (10 MB BLOBs, deepest student, m=2)\n");
+  std::printf("  %6s %6s %16s %18s %14s\n", "N", "depth", "chunked preload(s)",
+              "s&f preload(s)", "on-demand stalls");
+  for (std::size_t n : {8u, 63u, 255u, 1023u}) {
+    const std::size_t student = n - 1;
+    double chunked_s = 0, sf_s = 0;
+    int stalls = 0;
+    {
+      SimCluster cluster(n, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", 150ull << 20, cluster.id(0), 15);
+      cluster.node(0).broadcast_push(doc).expect("push");
+      cluster.net().run();
+      chunked_s = cluster.net().now().as_seconds();
+      if (!cluster.store(student).has_materialized(doc.doc_key)) stalls = -1;
+    }
+    {
+      SimCluster cluster(n, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", 150ull << 20, cluster.id(0), 15);
+      cluster.node(0).broadcast_push_store_forward(doc).expect("push");
+      cluster.net().run();
+      sf_s = cluster.net().now().as_seconds();
+    }
+    {
+      SimCluster cluster(n, 2, kCampusLink);
+      auto doc = make_lecture("http://mmu.edu/lec", 150ull << 20, cluster.id(0), 15);
+      cluster.store(0).put_instance(doc, false).expect("seed instructor");
+      PlaybackResult r = play_on_demand(cluster, doc, student, 0);
+      if (stalls == 0) stalls = r.stalls;
+    }
+    std::size_t depth = 0;
+    for (std::size_t p = n; p > 1; p /= 2) ++depth;
+    std::printf("  %6zu %6zu %16.1f %18.1f %14d\n", n, depth, chunked_s, sf_s,
+                stalls);
+  }
+  std::printf("\n");
 
   std::printf("shape check: a 10 Mb/s link moves 10 MB in ~8.4 s, so on-demand\n"
               "startup grows with BLOB size while pre-broadcast stays stall-free;\n"

@@ -70,6 +70,11 @@ class SimCluster {
   SimCluster(std::size_t n, std::uint64_t m, const net::StationLink& link,
              dist::NodeConfig config = {}, std::uint64_t seed = 42)
       : net_(seed) {
+    net_.reserve_stations(n);
+    ids_.reserve(n);
+    blobs_.reserve(n);
+    stores_.reserve(n);
+    nodes_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       StationId id = net_.add_station(link);
       ids_.push_back(id);
@@ -83,7 +88,9 @@ class SimCluster {
   }
 
   void set_m(std::uint64_t m) {
-    for (auto& node : nodes_) node->set_tree(ids_, m);
+    // One broadcast vector shared by every node — mandatory at N=10,000.
+    auto shared = std::make_shared<const std::vector<StationId>>(ids_);
+    for (auto& node : nodes_) node->set_tree(shared, m);
   }
 
   [[nodiscard]] dist::StationNode& node(std::size_t i) { return *nodes_[i]; }

@@ -120,18 +120,19 @@ BlobStore::~BlobStore() {
 
 Result<BlobId> BlobStore::put(Bytes data, MediaType type) {
   Digest128 digest = digest128(std::span<const std::uint8_t>(data));
-  // Size captured before the move: parameter evaluation order is unspecified.
   const std::uint64_t size = data.size();
-  return put_entry(digest, size, type, std::move(data), /*resident=*/true);
+  return put_entry(digest, size, type, std::make_shared<Bytes>(std::move(data)),
+                   /*resident=*/true);
 }
 
 Result<BlobId> BlobStore::put_synthetic(const Digest128& digest, std::uint64_t size,
                                         MediaType type) {
-  return put_entry(digest, size, type, {}, /*resident=*/false);
+  return put_entry(digest, size, type, nullptr, /*resident=*/false);
 }
 
 Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
-                                    MediaType type, Bytes data, bool resident) {
+                                    MediaType type, std::shared_ptr<Bytes> data,
+                                    bool resident) {
   if (auto it = by_digest_.find(digest); it != by_digest_.end()) {
     Entry& e = blobs_.at(it->second.value());
     ++e.info.refs;
@@ -144,7 +145,7 @@ Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
       e.info.resident = true;
       e.loaded = true;
       if (!dir_.empty()) {
-        WDOC_TRY(write_file(blob_path(digest), e.data));
+        WDOC_TRY(write_file(blob_path(digest), *e.data));
         e.on_disk = true;
       }
     }
@@ -159,7 +160,7 @@ Result<BlobId> BlobStore::put_entry(const Digest128& digest, std::uint64_t size,
   Entry e;
   e.info = BlobInfo{id, digest, type, size, 1, resident};
   if (resident && !dir_.empty()) {
-    WDOC_TRY(write_file(blob_path(digest), data));
+    WDOC_TRY(write_file(blob_path(digest), *data));
     e.on_disk = true;
   }
   e.data = std::move(data);
@@ -212,10 +213,10 @@ Result<std::span<const std::uint8_t>> BlobStore::get(BlobId id) {
   if (!e.loaded) {
     auto data = read_file(blob_path(e.info.digest));
     if (!data) return data.error();
-    e.data = std::move(data).value();
+    e.data = std::make_shared<Bytes>(std::move(data).value());
     e.loaded = true;
   }
-  return std::span<const std::uint8_t>(e.data);
+  return std::span<const std::uint8_t>(*e.data);
 }
 
 const BlobInfo* BlobStore::info(BlobId id) const {
@@ -263,18 +264,22 @@ Result<BlobStore::ChunkAdd> BlobStore::promote_partial(Partial& p) {
     // Whole-blob integrity gate: per-chunk digests already passed, but the
     // declared blob digest is the contract — reject and restart assembly
     // rather than ever accepting bytes under the wrong content address.
-    if (digest128(std::span<const std::uint8_t>(p.data)) != info.digest) {
+    if (digest128(std::span<const std::uint8_t>(*p.data)) != info.digest) {
       p.have.assign(info.chunks_total, false);
       p.real.assign(info.chunks_total, false);
       p.info.chunks_have = 0;
       partial_bytes_ -= info.size;
       p.any_real = false;
-      p.data.clear();
-      p.data.shrink_to_fit();
+      // Drop our reference; the allocation dies when (if) the last served
+      // slice does. A fresh buffer is minted on the next real chunk, so
+      // outstanding slices of the rejected assembly are never overwritten.
+      p.data.reset();
       return Error{Errc::corrupt,
                    "reassembled blob failed whole-content verification: " + info.digest.to_hex()};
     }
   }
+  // Promotion hands the partial's shared buffer to the complete entry —
+  // the same allocation, so slices served mid-assembly remain valid.
   Result<BlobId> id = all_real ? put_entry(info.digest, info.size, info.type,
                                            std::move(p.data), /*resident=*/true)
                                : put_synthetic(info.digest, info.size, info.type);
@@ -318,12 +323,16 @@ Result<BlobStore::ChunkAdd> BlobStore::add_chunk(const Digest128& digest, std::u
   ++p.info.chunks_have;
   if (!data.empty()) {
     if (!p.any_real) {
-      p.data.assign(p.info.size, 0);
+      // The lecture buffer: one allocation covering the whole blob, sized
+      // here and never reallocated (served slices alias into it).
+      p.data = std::make_shared<Bytes>(p.info.size, 0);
       partial_bytes_ += p.info.size;
       p.any_real = true;
     }
+    // The single memcpy of a chunk's life on this station: assembly into
+    // the lecture buffer. Every subsequent serve/relay is a slice of it.
     std::copy(data.begin(), data.end(),
-              p.data.begin() + static_cast<std::ptrdiff_t>(chunk_offset(index, p.info.chunk_bytes)));
+              p.data->begin() + static_cast<std::ptrdiff_t>(chunk_offset(index, p.info.chunk_bytes)));
     p.real[index] = true;
   }
   if (p.info.chunks_have == p.info.chunks_total) return promote_partial(p);
@@ -358,8 +367,8 @@ std::vector<std::uint32_t> BlobStore::missing_chunks(const Digest128& digest,
   return out;
 }
 
-Result<Bytes> BlobStore::chunk_payload(const Digest128& digest, std::uint32_t index,
-                                       std::uint32_t chunk_bytes) {
+Result<net::Payload> BlobStore::chunk_payload(const Digest128& digest, std::uint32_t index,
+                                              std::uint32_t chunk_bytes) {
   if (chunk_bytes == 0 || chunk_bytes > kMaxChunkBytes) {
     return Error{Errc::invalid_argument, "bad chunk size"};
   }
@@ -368,13 +377,14 @@ Result<Bytes> BlobStore::chunk_payload(const Digest128& digest, std::uint32_t in
     if (i == nullptr || index >= chunk_count(i->size, chunk_bytes)) {
       return Error{Errc::unavailable, "chunk index out of range"};
     }
-    if (!i->resident) return Bytes{};  // synthetic: size-only chunk
+    if (!i->resident) return net::Payload{};  // synthetic: size-only chunk
+    // Fault the payload in (disk-backed stores) before slicing.
     auto span = get(*id);
     if (!span) return span.error();
+    const Entry& e = blobs_.at(id->value());
     const std::uint64_t off = chunk_offset(index, chunk_bytes);
     const std::uint32_t len = chunk_size_at(i->size, index, chunk_bytes);
-    return Bytes(span.value().begin() + static_cast<std::ptrdiff_t>(off),
-                 span.value().begin() + static_cast<std::ptrdiff_t>(off + len));
+    return net::Payload::wrap(e.data, off, len);
   }
   auto it = partials_.find(digest);
   if (it == partials_.end() || it->second.info.chunk_bytes != chunk_bytes ||
@@ -382,11 +392,10 @@ Result<Bytes> BlobStore::chunk_payload(const Digest128& digest, std::uint32_t in
     return Error{Errc::unavailable, "chunk not held locally"};
   }
   const Partial& p = it->second;
-  if (!p.real[index]) return Bytes{};  // received synthetically
+  if (!p.real[index]) return net::Payload{};  // received synthetically
   const std::uint64_t off = chunk_offset(index, chunk_bytes);
   const std::uint32_t len = chunk_size_at(p.info.size, index, chunk_bytes);
-  return Bytes(p.data.begin() + static_cast<std::ptrdiff_t>(off),
-               p.data.begin() + static_cast<std::ptrdiff_t>(off + len));
+  return net::Payload::wrap(p.data, off, len);
 }
 
 void BlobStore::drop_partial(const Digest128& digest) {

@@ -27,6 +27,7 @@
 #include "common/ids.hpp"
 #include "common/result.hpp"
 #include "common/serialize.hpp"
+#include "net/payload.hpp"
 
 namespace wdoc::blob {
 
@@ -117,11 +118,16 @@ class BlobStore {
   // Up to `max` missing chunk indices, ascending (empty for unknown digests).
   [[nodiscard]] std::vector<std::uint32_t> missing_chunks(const Digest128& digest,
                                                           std::uint32_t max) const;
-  // Bytes of chunk `index`, served from a complete resident blob or from a
-  // partial's verified buffer; empty bytes when the chunk is synthetic.
-  // Errc::unavailable when the chunk is not held locally.
-  [[nodiscard]] Result<Bytes> chunk_payload(const Digest128& digest, std::uint32_t index,
-                                            std::uint32_t chunk_bytes);
+  // Bytes of chunk `index` as a zero-copy slice into the blob's shared
+  // buffer — one lecture buffer per blob, whether complete or a partial
+  // mid-assembly; serving a chunk bumps a refcount, never copies. Empty
+  // payload when the chunk is synthetic. Errc::unavailable when the chunk
+  // is not held locally. The slice stays valid (and its bytes immutable)
+  // across promotion, eviction, and store destruction: promotion moves the
+  // same shared buffer into the complete entry, and the refcount keeps
+  // evicted buffers alive until the last slice drops.
+  [[nodiscard]] Result<net::Payload> chunk_payload(const Digest128& digest, std::uint32_t index,
+                                                   std::uint32_t chunk_bytes);
   void drop_partial(const Digest128& digest);
   [[nodiscard]] std::size_t partial_count() const { return partials_.size(); }
   [[nodiscard]] std::uint64_t partial_bytes() const { return partial_bytes_; }
@@ -136,23 +142,31 @@ class BlobStore {
   [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
 
  private:
+  // Payload buffers are shared (net::Payload slices alias them), so an
+  // entry's data is a shared_ptr: replacing or dropping it never moves
+  // bytes out from under an outstanding slice.
   struct Entry {
     BlobInfo info;
-    Bytes data;           // empty for synthetic and not-yet-faulted blobs
-    bool on_disk = false; // payload exists at blob_path(digest)
-    bool loaded = false;  // data holds the payload
+    std::shared_ptr<Bytes> data;  // null for synthetic and not-yet-faulted blobs
+    bool on_disk = false;         // payload exists at blob_path(digest)
+    bool loaded = false;          // data holds the payload
   };
 
   struct Partial {
     PartialInfo info;
     std::vector<bool> have;  // verified chunks
     std::vector<bool> real;  // chunks whose payload bytes are in `data`
-    Bytes data;              // sized on first real chunk; empty while synthetic
+    // The lecture buffer: sized once (to the whole blob) on the first real
+    // chunk and never reallocated, so verified-chunk slices handed out by
+    // chunk_payload stay valid while later chunks land around them. Null
+    // while the transfer is synthetic.
+    std::shared_ptr<Bytes> data;
     bool any_real = false;
   };
 
   [[nodiscard]] Result<BlobId> put_entry(const Digest128& digest, std::uint64_t size,
-                                         MediaType type, Bytes data, bool resident);
+                                         MediaType type, std::shared_ptr<Bytes> data,
+                                         bool resident);
   [[nodiscard]] Result<ChunkAdd> promote_partial(Partial& p);
   [[nodiscard]] std::string blob_path(const Digest128& digest) const;
   void remove_entry_files(const Entry& e);

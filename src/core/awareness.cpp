@@ -1,6 +1,7 @@
 #include "core/awareness.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/log.hpp"
 #include "common/serialize.hpp"
@@ -26,7 +27,7 @@ struct MemberMsg {
   std::string text;
 };
 
-Result<MemberMsg> decode_member_msg(const Bytes& b) {
+Result<MemberMsg> decode_member_msg(std::span<const std::uint8_t> b) {
   Reader r(b);
   MemberMsg out;
   auto user = r.u64();
@@ -112,7 +113,8 @@ void AwarenessHost::broadcast_roster(const std::string& room) {
   w.str(room);
   w.u32(static_cast<std::uint32_t>(it->second.size()));
   for (const RoomMember& m : it->second) w.str(m.name);
-  Bytes payload = w.take();
+  // One refcounted roster buffer shared across the room fan-out.
+  const net::Payload payload{w.take()};
   for (const RoomMember& m : it->second) {
     net::Message out;
     out.from = self_;

@@ -1,5 +1,7 @@
 #include "dist/admin_node.hpp"
 
+#include <span>
+
 #include "common/log.hpp"
 
 namespace wdoc::dist {
@@ -14,7 +16,8 @@ Bytes encode_vector(std::uint64_t m, const std::vector<StationId>& vec) {
   return w.take();
 }
 
-Result<std::pair<std::uint64_t, std::vector<StationId>>> decode_vector(const Bytes& b) {
+Result<std::pair<std::uint64_t, std::vector<StationId>>> decode_vector(
+    std::span<const std::uint8_t> b) {
   Reader r(b);
   auto m = r.u64();
   if (!m) return m.error();

@@ -1,6 +1,7 @@
 #include "dist/coordinator.hpp"
 
 #include <algorithm>
+#include <memory>
 
 namespace wdoc::dist {
 
@@ -38,8 +39,11 @@ void Coordinator::adapt(double uplink_bps, double latency_s) {
 void Coordinator::configure_tree(std::vector<StationNode*>& nodes,
                                  blob::MediaType dominant) const {
   const std::uint64_t m = m_for(dominant);
+  // Every node aliases one copy of the vector; at N=10,000 stations the
+  // alternative is N copies of an N-entry vector.
+  auto shared = std::make_shared<const std::vector<StationId>>(stations_);
   for (StationNode* node : nodes) {
-    node->set_tree(stations_, m);
+    node->set_tree(shared, m);
   }
 }
 

@@ -79,7 +79,7 @@ struct FetchReq {
     for (StationId s : path) w.u64(s.value());
     return w.take();
   }
-  [[nodiscard]] static Result<FetchReq> decode(const Bytes& b) {
+  [[nodiscard]] static Result<FetchReq> decode(std::span<const std::uint8_t> b) {
     Reader r(b);
     FetchReq out;
     auto id = r.u64();
@@ -115,7 +115,7 @@ struct FetchRsp {
     for (StationId s : path) w.u64(s.value());
     return w.take();
   }
-  [[nodiscard]] static Result<FetchRsp> decode(const Bytes& b) {
+  [[nodiscard]] static Result<FetchRsp> decode(std::span<const std::uint8_t> b) {
     Reader r(b);
     FetchRsp out;
     auto id = r.u64();
@@ -149,7 +149,7 @@ struct FetchErr {
     w.u32(static_cast<std::uint32_t>(code));
     return w.take();
   }
-  [[nodiscard]] static Result<FetchErr> decode(const Bytes& b) {
+  [[nodiscard]] static Result<FetchErr> decode(std::span<const std::uint8_t> b) {
     Reader r(b);
     FetchErr out;
     auto id = r.u64();
@@ -181,7 +181,7 @@ struct BlobReq {
     w.u8(static_cast<std::uint8_t>(type));
     return w.take();
   }
-  [[nodiscard]] static Result<BlobReq> decode(const Bytes& b) {
+  [[nodiscard]] static Result<BlobReq> decode(std::span<const std::uint8_t> b) {
     Reader r(b);
     BlobReq out;
     auto id = r.u64();
@@ -216,7 +216,7 @@ struct BlobRsp {
     w.u8(static_cast<std::uint8_t>(blob.type));
     return w.take();
   }
-  [[nodiscard]] static Result<BlobRsp> decode(const Bytes& b) {
+  [[nodiscard]] static Result<BlobRsp> decode(std::span<const std::uint8_t> b) {
     Reader r(b);
     BlobRsp out;
     auto id = r.u64();
@@ -280,23 +280,29 @@ void StationNode::bind() {
   fabric_->set_handler(self_, [this](const net::Message& msg) { on_message(msg); });
 }
 
-void StationNode::set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m) {
+void StationNode::set_tree(std::shared_ptr<const std::vector<StationId>> broadcast_vector,
+                           std::uint64_t m) {
   WDOC_CHECK(m >= 1, "set_tree: m must be >= 1");
+  WDOC_CHECK(broadcast_vector != nullptr, "set_tree: null broadcast vector");
   broadcast_vector_ = std::move(broadcast_vector);
   m_ = m;
   position_ = 0;
-  for (std::size_t i = 0; i < broadcast_vector_.size(); ++i) {
-    if (broadcast_vector_[i] == self_) {
+  for (std::size_t i = 0; i < tree_order().size(); ++i) {
+    if (tree_order()[i] == self_) {
       position_ = i + 1;
       break;
     }
   }
 }
 
+void StationNode::set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m) {
+  set_tree(std::make_shared<const std::vector<StationId>>(std::move(broadcast_vector)), m);
+}
+
 std::optional<StationId> StationNode::parent_station() const {
   if (position_ <= 1) return std::nullopt;
   std::uint64_t p = parent_position(position_, m_);
-  return broadcast_vector_[p - 1];
+  return tree_order()[p - 1];
 }
 
 std::optional<StationId> StationNode::live_parent_station() const {
@@ -305,7 +311,7 @@ std::optional<StationId> StationNode::live_parent_station() const {
   // parent equation applied repeatedly (grandparent_position and beyond).
   for (std::uint64_t pos : ancestry(position_, m_)) {
     if (pos == position_) continue;
-    StationId s = broadcast_vector_[pos - 1];
+    StationId s = tree_order()[pos - 1];
     if (!dead_.contains(s)) return s;
   }
   return std::nullopt;
@@ -357,7 +363,7 @@ void StationNode::note_alive(StationId from) {
 // --- push --------------------------------------------------------------------
 
 Status StationNode::send_push(StationId to, const DocManifest& manifest,
-                              std::uint64_t trace_parent, std::uint64_t trace_id) {
+                              obs::TraceContext trace) {
   Writer w;
   manifest.serialize(w);
   net::Message msg;
@@ -366,8 +372,7 @@ Status StationNode::send_push(StationId to, const DocManifest& manifest,
   msg.type = kPush;
   msg.payload = w.take();
   msg.wire_size = manifest.total_bytes();
-  msg.trace_parent = trace_parent;
-  msg.trace_id = trace_id;
+  msg.trace = trace;
   DistMetrics::get().pushes.inc();
   return fabric_->send(std::move(msg));
 }
@@ -392,8 +397,9 @@ Status StationNode::broadcast_push_store_forward(const DocManifest& manifest) {
       obs::derive_trace_id((self_.value() << 24) | ++next_req_);
   std::uint64_t span = tracer.begin("dist.push " + manifest.doc_key, 0,
                                     fabric_->now(), self_.value(), trace_id);
-  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-    WDOC_TRY(send_push(broadcast_vector_[child - 1], manifest, span, trace_id));
+  for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
+    WDOC_TRY(send_push(tree_order()[child - 1], manifest,
+                       obs::TraceContext{trace_id, span, false}));
     ++stats_.pushes_forwarded;
   }
   tracer.end(span, fabric_->now());
@@ -429,9 +435,11 @@ void StationNode::open_transfer_children(std::uint64_t transfer_id, Transfer& t)
   Writer w;
   t.manifest.serialize(w);
   begin.manifest = w.take();
-  const Bytes payload = begin.encode();
-  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-    StationId cid = broadcast_vector_[child - 1];
+  // One refcounted buffer shared by every child's begin: m children bump a
+  // refcount instead of copying the manifest m times.
+  const net::Payload payload{begin.encode()};
+  for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
+    StationId cid = tree_order()[child - 1];
     net::Message out;
     out.from = self_;
     out.to = cid;
@@ -440,8 +448,7 @@ void StationNode::open_transfer_children(std::uint64_t transfer_id, Transfer& t)
     // The begin carries the structure (the small copied objects) plus the
     // manifest itself; blob bytes are charged chunk by chunk.
     out.wire_size = t.manifest.structure_bytes + payload.size();
-    out.trace_parent = t.span;
-    out.trace_id = t.trace_id;
+    out.trace = obs::TraceContext{t.trace_id, t.span, t.trace_sampled};
     DistMetrics::get().pushes.inc();
     Status s = fabric_->send(std::move(out));
     if (!s.is_ok()) continue;
@@ -557,10 +564,12 @@ Status StationNode::send_chunk(std::uint64_t transfer_id, const Transfer& t,
   out.from = self_;
   out.to = child;
   out.type = kChunkData;
-  out.payload = d.encode();
-  if (!d.has_payload) out.wire_size = d.chunk_len + 64;
-  out.trace_parent = t.span;
-  out.trace_id = t.trace_id;
+  out.payload = d.encode();  // the small per-hop header
+  // The chunk bytes ride out-of-band: the slice from the blob store is
+  // forwarded untouched (a refcount bump, not a copy).
+  out.body = d.payload;
+  if (!d.has_payload) out.wire_size = d.chunk_len + net::kWireHeaderBytes;
+  out.trace = obs::TraceContext{t.trace_id, t.span, t.trace_sampled};
   ++stats_.chunks_sent;
   stats_.chunk_bytes_sent += d.chunk_len;
   auto& dm = DistMetrics::get();
@@ -629,8 +638,9 @@ void StationNode::on_chunk_begin(const net::Message& msg) {
   for (const BlobRef& b : m.blobs) {
     t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
   }
-  t.trace_id = msg.trace_id;
-  t.span = obs::Tracer::global().begin("dist.push.hop " + m.doc_key, msg.trace_parent,
+  t.trace_id = msg.trace.trace_id;
+  t.trace_sampled = msg.trace.sampled;
+  t.span = obs::Tracer::global().begin("dist.push.hop " + m.doc_key, msg.trace.span_id,
                                        fabric_->now(), self_.value(), t.trace_id);
   // Mirror entry first, so even a transfer that loses its tail leaves the
   // routing information chunk-level repair needs.
@@ -648,7 +658,7 @@ void StationNode::on_chunk_begin(const net::Message& msg) {
 }
 
 void StationNode::on_chunk_data(const net::Message& msg) {
-  auto data = net::ChunkData::decode(msg.payload);
+  auto data = net::ChunkData::decode(msg.payload, msg.body);
   if (!data) {
     ++stats_.chunk_rejects;
     DistMetrics::get().chunk_rejects.inc();
@@ -671,7 +681,7 @@ void StationNode::on_chunk_data(const net::Message& msg) {
     (void)fabric_->send(std::move(out));
   }
   auto add = store_->blobs().add_chunk(d.digest, d.index, d.chunk_digest,
-                                       std::span<const std::uint8_t>(d.payload));
+                                       d.payload.span());
   if (!add) {
     if (add.code() == Errc::not_found) {
       // No assembly state here: the transfer's begin was lost, or this is
@@ -752,7 +762,8 @@ void StationNode::on_chunk_req(const net::Message& msg) {
     out.to = msg.from;
     out.type = kChunkData;
     out.payload = d.encode();
-    if (!d.has_payload) out.wire_size = d.chunk_len + 64;
+    out.body = d.payload;  // repair serves the stored slice, zero-copy
+    if (!d.has_payload) out.wire_size = d.chunk_len + net::kWireHeaderBytes;
     if (!fabric_->send(std::move(out)).is_ok()) continue;
     ++served;
     ++stats_.chunks_sent;
@@ -1013,8 +1024,8 @@ void StationNode::on_push(const net::Message& msg) {
   const DocManifest& m = manifest.value();
   // Child span of the sender's push span: the trace mirrors the m-ary tree.
   auto& tracer = obs::Tracer::global();
-  std::uint64_t span = tracer.begin("dist.push.hop " + m.doc_key, msg.trace_parent,
-                                    fabric_->now(), self_.value(), msg.trace_id);
+  std::uint64_t span = tracer.begin("dist.push.hop " + m.doc_key, msg.trace.span_id,
+                                    fabric_->now(), self_.value(), msg.trace.trace_id);
   const StoredDoc* existing = store_->doc(m.doc_key);
   if (existing == nullptr) {
     Status s = store_->put_instance(m, /*ephemeral=*/true);
@@ -1027,8 +1038,9 @@ void StationNode::on_push(const net::Message& msg) {
   }
   // Forward down the tree.
   if (position_ != 0) {
-    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-      Status s = send_push(broadcast_vector_[child - 1], m, span, msg.trace_id);
+    for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
+      Status s = send_push(tree_order()[child - 1], m,
+                           obs::TraceContext{msg.trace.trace_id, span, msg.trace.sampled});
       if (s.is_ok()) ++stats_.pushes_forwarded;
     }
   }
@@ -1039,12 +1051,14 @@ Status StationNode::announce_reference(const DocManifest& manifest) {
   if (position_ == 0) return {Errc::invalid_argument, "station not in broadcast tree"};
   Writer w;
   manifest.serialize(w);
-  for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+  // One refcounted manifest buffer shared across the whole fan-out.
+  const net::Payload payload{w.take()};
+  for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
     net::Message msg;
     msg.from = self_;
-    msg.to = broadcast_vector_[child - 1];
+    msg.to = tree_order()[child - 1];
     msg.type = kRefAnnounce;
-    msg.payload = w.data();
+    msg.payload = payload;
     // Reference records are structure-free: only the manifest crosses the
     // wire (charged at payload size), not the document.
     WDOC_TRY(fabric_->send(std::move(msg)));
@@ -1060,12 +1074,12 @@ void StationNode::on_ref_announce(const net::Message& msg) {
   if (store_->doc(m.doc_key) == nullptr) {
     (void)store_->put_reference(m);
   }
-  // Forward down the tree.
+  // Forward down the tree: the received slice itself, refcounted.
   if (position_ != 0) {
-    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
+    for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
       net::Message out;
       out.from = self_;
-      out.to = broadcast_vector_[child - 1];
+      out.to = tree_order()[child - 1];
       out.type = kRefAnnounce;
       out.payload = msg.payload;
       (void)fabric_->send(std::move(out));
@@ -1515,8 +1529,8 @@ Status StationNode::start_scrape(std::uint64_t req_id,
 
   std::vector<StationId> targets;
   if (position_ != 0) {
-    for (std::uint64_t child : children_of(position_, m_, broadcast_vector_.size())) {
-      targets.push_back(broadcast_vector_[child - 1]);
+    for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
+      targets.push_back(tree_order()[child - 1]);
     }
   }
   pending.outstanding = targets.size();
@@ -1525,7 +1539,7 @@ Status StationNode::start_scrape(std::uint64_t req_id,
     // forever: after a deadline scaled by how deep below us the slowest
     // answer can originate, deliver what has arrived.
     std::uint64_t height =
-        position_ == 0 ? 1 : subtree_height(position_, m_, broadcast_vector_.size());
+        position_ == 0 ? 1 : subtree_height(position_, m_, tree_order().size());
     pending.timer =
         fabric_->schedule_on(self_, config_.rpc.deadline * static_cast<std::int64_t>(height + 1),
                              [this, req_id] { on_scrape_deadline(req_id); });

@@ -34,6 +34,7 @@
 #include <memory>
 #include <set>
 #include <type_traits>
+#include <vector>
 
 #include "dist/mtree.hpp"
 #include "dist/object_store.hpp"
@@ -143,6 +144,11 @@ class StationNode {
   // --- topology -----------------------------------------------------------
   // The class administrator's broadcast vector (stations in linear join
   // order) and the tree fan-out m. The node derives its own position.
+  // The shared-ownership overload lets every node of an N-station cluster
+  // alias one vector instead of holding its own copy — at N=10,000 that is
+  // the difference between one 80 kB vector and 800 MB of duplicates.
+  void set_tree(std::shared_ptr<const std::vector<StationId>> broadcast_vector,
+                std::uint64_t m);
   void set_tree(std::vector<StationId> broadcast_vector, std::uint64_t m);
   [[nodiscard]] std::uint64_t position() const { return position_; }
   // Static tree parent from the placement equation — ignores liveness.
@@ -304,8 +310,7 @@ class StationNode {
   [[nodiscard]] Status send_blob_req(std::uint64_t req_id, StationId holder,
                                      const std::string& doc_key, const BlobRef& blob);
   [[nodiscard]] Status send_push(StationId to, const DocManifest& manifest,
-                                 std::uint64_t trace_parent = 0,
-                                 std::uint64_t trace_id = 0);
+                                 obs::TraceContext trace = {});
 
   // Failure detector: consecutive attempt timeouts per routed-to peer.
   void note_attempt_timeout(StationId target);
@@ -329,9 +334,10 @@ class StationNode {
     std::vector<ChildCursor> children;
     std::uint64_t span = 0;  // trace span covering this hop of the multicast
     // End-to-end trace of the whole multicast: derived deterministically
-    // from the transfer id at the root, inherited from msg.trace_id at
-    // every hop below it.
+    // from the transfer id at the root, inherited from msg.trace.trace_id
+    // at every hop below it (together with the head-sample verdict).
     std::uint64_t trace_id = 0;
+    bool trace_sampled = false;
   };
 
   [[nodiscard]] Status start_chunked_push(const DocManifest& manifest);
@@ -383,9 +389,16 @@ class StationNode {
   NodeStats stats_;
   net::RpcTracker rpc_;
 
-  std::vector<StationId> broadcast_vector_;
+  // Shared with every other node of the cluster (see set_tree); read-only
+  // through tree_order(). Never null — starts as an empty vector.
+  std::shared_ptr<const std::vector<StationId>> broadcast_vector_ =
+      std::make_shared<const std::vector<StationId>>();
   std::uint64_t m_ = 2;
   std::uint64_t position_ = 0;  // 1-based; 0 = not in tree
+
+  [[nodiscard]] const std::vector<StationId>& tree_order() const {
+    return *broadcast_vector_;
+  }
 
   // Failure detector state: consecutive timeouts per peer, peers declared
   // dead, and the peer each in-flight rpc last routed to.

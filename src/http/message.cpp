@@ -97,9 +97,9 @@ const char* status_reason(int status) {
   }
 }
 
-std::string serialize(const Response& r) {
+std::string serialize_headers(const Response& r) {
   std::string out;
-  out.reserve(r.body.size() + 128);
+  out.reserve(128);
   out += "HTTP/1.1 ";
   out += std::to_string(r.status);
   out += ' ';
@@ -116,7 +116,12 @@ std::string serialize(const Response& r) {
   out += "\r\nConnection: ";
   out += r.keep_alive ? "keep-alive" : "close";
   out += "\r\n\r\n";
-  out += r.body;
+  return out;
+}
+
+std::string serialize(const Response& r) {
+  std::string out = serialize_headers(r);
+  out.append(r.body.text());
   return out;
 }
 

@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "net/payload.hpp"
+
 namespace wdoc::http {
 
 enum class Method : std::uint8_t { get, head, post, put, del, options, other };
@@ -40,7 +42,10 @@ struct Request {
 struct Response {
   int status = 200;
   std::map<std::string, std::string> headers;  // Content-Length added on render
-  std::string body;
+  // Refcounted immutable body: a handler serving a stored blob (or a cached
+  // render) hands out a slice of the existing buffer instead of copying it
+  // into every response. Use text() for string comparisons.
+  net::Payload body;
   bool keep_alive = true;  // rendered as the Connection header
 
   [[nodiscard]] static Response text(int status, std::string body);
@@ -54,6 +59,11 @@ struct Response {
 // and Connection synthesized), CRLF, body. Byte-identical for identical
 // responses, so same-seed runs produce identical wire traffic.
 [[nodiscard]] std::string serialize(const Response& r);
+
+// The wire form up to and including the blank line, without the body — the
+// server writes headers and body as two sends, so a large body is never
+// copied into a headers+body wire string.
+[[nodiscard]] std::string serialize_headers(const Response& r);
 
 // Percent-decodes `in` ('+' becomes space when `plus_as_space`). Invalid or
 // truncated %XX escapes are passed through verbatim rather than rejected —

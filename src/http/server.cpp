@@ -30,9 +30,14 @@ bool send_all(int fd, const char* data, std::size_t n) {
 }
 
 bool send_response(int fd, const Response& rsp, obs::Counter& bytes_out) {
-  const std::string wire = serialize(rsp);
-  bytes_out.inc(wire.size());
-  return send_all(fd, wire.data(), wire.size());
+  // Headers and body go out as two sends: the body is a refcounted slice
+  // written in place, never copied into a combined wire string.
+  const std::string head = serialize_headers(rsp);
+  bytes_out.inc(head.size() + rsp.body.size());
+  if (!send_all(fd, head.data(), head.size())) return false;
+  return rsp.body.empty() ||
+         send_all(fd, reinterpret_cast<const char*>(rsp.body.data()),
+                  rsp.body.size());
 }
 
 }  // namespace

@@ -18,7 +18,7 @@ Bytes ChunkBegin::encode() const {
   return w.take();
 }
 
-Result<ChunkBegin> ChunkBegin::decode(const Bytes& b) {
+Result<ChunkBegin> ChunkBegin::decode(std::span<const std::uint8_t> b) {
   Reader r(b);
   ChunkBegin out;
   auto id = r.u64();
@@ -46,12 +46,11 @@ Bytes ChunkData::encode() const {
   w.u64(chunk_digest.lo);
   w.u64(chunk_digest.hi);
   w.boolean(has_payload);
-  if (has_payload) w.bytes(payload);
   return w.take();
 }
 
-Result<ChunkData> ChunkData::decode(const Bytes& b) {
-  Reader r(b);
+Result<ChunkData> ChunkData::decode(std::span<const std::uint8_t> header, Payload body) {
+  Reader r(header);
   ChunkData out;
   auto req = r.u64();
   auto xfer = r.u64();
@@ -76,13 +75,16 @@ Result<ChunkData> ChunkData::decode(const Bytes& b) {
   if (!plausible_chunk_len(out.chunk_len)) {
     return Error{Errc::corrupt, "chunk data: implausible length"};
   }
+  // Cross-check the out-of-band body against the header's claim: a header
+  // promising bytes it doesn't have (or bytes with no header claim) is as
+  // corrupt as a truncated buffer.
   if (out.has_payload) {
-    auto p = r.bytes();
-    if (!p) return p.error();
-    out.payload = std::move(p).value();
-    if (out.payload.size() != out.chunk_len) {
+    if (body.size() != out.chunk_len) {
       return Error{Errc::corrupt, "chunk data: payload/length mismatch"};
     }
+    out.payload = std::move(body);  // the received slice, untouched
+  } else if (!body.empty()) {
+    return Error{Errc::corrupt, "chunk data: unexpected payload bytes"};
   }
   return out;
 }
@@ -97,7 +99,7 @@ Bytes ChunkAck::encode() const {
   return w.take();
 }
 
-Result<ChunkAck> ChunkAck::decode(const Bytes& b) {
+Result<ChunkAck> ChunkAck::decode(std::span<const std::uint8_t> b) {
   Reader r(b);
   ChunkAck out;
   auto req = r.u64();
@@ -127,7 +129,7 @@ Bytes ChunkReq::encode() const {
   return w.take();
 }
 
-Result<ChunkReq> ChunkReq::decode(const Bytes& b) {
+Result<ChunkReq> ChunkReq::decode(std::span<const std::uint8_t> b) {
   Reader r(b);
   ChunkReq out;
   auto req = r.u64();
@@ -168,7 +170,7 @@ Bytes ChunkRsp::encode() const {
   return w.take();
 }
 
-Result<ChunkRsp> ChunkRsp::decode(const Bytes& b) {
+Result<ChunkRsp> ChunkRsp::decode(std::span<const std::uint8_t> b) {
   Reader r(b);
   ChunkRsp out;
   auto req = r.u64();

@@ -11,18 +11,27 @@
 //   ChunkReq    pull request for an explicit list of missing chunk indices.
 //   ChunkRsp    pull summary: how many of the requested chunks were served.
 //
+// ChunkData's bulk bytes do NOT travel inside the encoded header: they ride
+// as net::Message::body, a refcounted Payload slice, so a relay re-encodes
+// only the ~50-byte header per hop and forwards the received bytes
+// untouched. encode() renders the header; decode() takes the header bytes
+// and the out-of-band body and cross-checks them (a body/length or
+// body/flag mismatch is corruption).
+//
 // Every decoder fails with Errc::corrupt on truncation, implausible counts,
 // or oversized lengths — hostile input must never drive an allocation or
 // out-of-bounds read (fuzzed in tests/test_decode_fuzz.cpp).
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "common/result.hpp"
 #include "common/serialize.hpp"
+#include "net/payload.hpp"
 
 namespace wdoc::net {
 
@@ -42,7 +51,7 @@ struct ChunkBegin {
   Bytes manifest;  // opaque to the transport; dist decodes a DocManifest
 
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static Result<ChunkBegin> decode(const Bytes& b);
+  [[nodiscard]] static Result<ChunkBegin> decode(std::span<const std::uint8_t> b);
 };
 
 struct ChunkData {
@@ -53,10 +62,12 @@ struct ChunkData {
   std::uint32_t chunk_len = 0;    // bytes this chunk covers (charged on wire)
   Digest128 chunk_digest;         // content hash of this chunk
   bool has_payload = false;       // false = synthetic (size-only) transfer
-  Bytes payload;                  // exactly chunk_len bytes when has_payload
+  Payload payload;                // exactly chunk_len bytes when has_payload
 
+  // Header only — `payload` travels out-of-band as Message::body.
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static Result<ChunkData> decode(const Bytes& b);
+  [[nodiscard]] static Result<ChunkData> decode(std::span<const std::uint8_t> header,
+                                                Payload body);
 };
 
 struct ChunkAck {
@@ -66,7 +77,7 @@ struct ChunkAck {
   std::uint32_t index = 0;
 
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static Result<ChunkAck> decode(const Bytes& b);
+  [[nodiscard]] static Result<ChunkAck> decode(std::span<const std::uint8_t> b);
 };
 
 struct ChunkReq {
@@ -79,7 +90,7 @@ struct ChunkReq {
   std::vector<std::uint32_t> indices;  // missing chunks, ascending
 
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static Result<ChunkReq> decode(const Bytes& b);
+  [[nodiscard]] static Result<ChunkReq> decode(std::span<const std::uint8_t> b);
 };
 
 struct ChunkRsp {
@@ -88,7 +99,7 @@ struct ChunkRsp {
   std::uint32_t requested = 0;
 
   [[nodiscard]] Bytes encode() const;
-  [[nodiscard]] static Result<ChunkRsp> decode(const Bytes& b);
+  [[nodiscard]] static Result<ChunkRsp> decode(std::span<const std::uint8_t> b);
 };
 
 }  // namespace wdoc::net

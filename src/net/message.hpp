@@ -11,30 +11,36 @@
 
 #include "common/ids.hpp"
 #include "common/serialize.hpp"
+#include "net/payload.hpp"
+#include "obs/trace.hpp"
 
 namespace wdoc::net {
+
+// Framing overhead the fabric charges on top of the payload bytes when no
+// explicit wire_size is declared. SimNetwork and ThreadTransport both
+// account through charged_size(), so this is the single point of truth.
+inline constexpr std::uint64_t kWireHeaderBytes = 64;
 
 struct Message {
   StationId from;
   StationId to;
-  std::string type;       // protocol discriminator, e.g. "dist.push"
-  Bytes payload;          // protocol-defined body
+  std::string type;  // protocol discriminator, e.g. "dist.push"
+  Payload payload;   // protocol-defined header/body bytes
+  // Bulk bytes riding behind the protocol header (chunk payloads). Kept out
+  // of `payload` so a relay can forward the received slice untouched while
+  // re-encoding only the small per-hop header. Empty for most messages.
+  Payload body;
   std::uint64_t wire_size = 0;  // bytes charged on the wire (0 -> payload size)
-  std::uint64_t seq = 0;  // assigned by the fabric
-  // Span id of the sender-side span that caused this message (0 = untraced).
-  // Both fabrics are in-process, so the receiver can parent its own span on
-  // it and a trace follows a push down the whole distribution tree.
-  std::uint64_t trace_parent = 0;
-  // End-to-end trace the sender's span belongs to (0 = none). Receivers
-  // stamp it on the spans they open for this message, so remote-station
-  // work joins the initiator's trace instead of starting an orphan.
-  std::uint64_t trace_id = 0;
-  // Initiator's head-sample verdict rides along so downstream stations
-  // never re-flip the coin with a different seed.
-  bool trace_sampled = false;
+  std::uint64_t seq = 0;        // assigned by the fabric
+  // End-to-end trace this message belongs to: the trace id minted at the
+  // initiator, the sender-side span acting as parent (receivers parent
+  // their own spans on it, so a trace follows a push down the whole
+  // distribution tree — both fabrics are in-process), and the initiator's
+  // head-sample verdict so downstream stations never re-flip the coin.
+  obs::TraceContext trace;
 
   [[nodiscard]] std::uint64_t charged_size() const {
-    return wire_size != 0 ? wire_size : payload.size() + 64;  // 64 B header
+    return wire_size != 0 ? wire_size : payload.size() + body.size() + kWireHeaderBytes;
   }
 };
 

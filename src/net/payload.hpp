@@ -1,0 +1,90 @@
+// Refcounted immutable payload buffers — the fabric's unit of bulk bytes.
+//
+// A Payload is a view (pointer + length) into a shared heap buffer. Copying
+// a Payload bumps a refcount; slicing one narrows the view without touching
+// the bytes. That makes the chunked distribution tree genuinely zero-copy:
+// a verified chunk lands once in a station's reassembly buffer and every
+// relay hop forwards a slice of that same buffer.
+//
+// The bytes behind a live Payload never change (see DESIGN.md "Buffer
+// ownership"). Mutation goes through the copy-on-write escape hatch cow(),
+// which yields an owned mutable buffer — stealing the allocation when this
+// view is the sole owner of a whole buffer, deep-copying otherwise.
+//
+// Every deep copy (copy_of, to_bytes, to_string, a cow() that cannot
+// steal) increments net.payload.copies / net.payload.bytes_copied, so the
+// zero-copy property is observable and CI can assert the relay path stays
+// near zero.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/serialize.hpp"
+
+namespace wdoc::net {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  // Takes ownership of an owned buffer (e.g. Writer::take()) — no copy.
+  /*implicit*/ Payload(Bytes&& b);
+  /*implicit*/ Payload(std::string&& s);
+
+  // Deep-copies borrowed bytes (counted: the caller keeps ownership, so the
+  // fabric cannot share them).
+  [[nodiscard]] static Payload copy_of(std::span<const std::uint8_t> b);
+
+  // Shares `buf` (or the [offset, offset+len) window of it) — no copy. The
+  // buffer must outlive nothing: the Payload keeps it alive.
+  [[nodiscard]] static Payload wrap(std::shared_ptr<const Bytes> buf);
+  [[nodiscard]] static Payload wrap(std::shared_ptr<const Bytes> buf, std::size_t offset,
+                                    std::size_t len);
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const { return {data_, size_}; }
+  /*implicit*/ operator std::span<const std::uint8_t>() const { return span(); }
+  // The bytes viewed as text (HTTP bodies, JSON exports).
+  [[nodiscard]] std::string_view text() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+
+  // Narrows the view to [offset, offset+len) of this payload — refcount
+  // bump, no copy. Out-of-range slices are clamped to the payload's end.
+  [[nodiscard]] Payload slice(std::size_t offset, std::size_t len) const;
+
+  // Deep-copy escape hatches (counted).
+  [[nodiscard]] Bytes to_bytes() const;
+  [[nodiscard]] std::string to_string() const;
+
+  // Copy-on-write: yields an owned mutable buffer and empties this view.
+  // Sole owner of a whole Bytes buffer -> the allocation is stolen (free);
+  // shared, sliced, or string-backed -> counted deep copy.
+  [[nodiscard]] Bytes cow();
+
+  // Process-wide deep-copy totals (the net.payload.* counters), exposed for
+  // tests that assert the relay path stays zero-copy.
+  [[nodiscard]] static std::uint64_t copies_total();
+  [[nodiscard]] static std::uint64_t bytes_copied_total();
+
+ private:
+  std::shared_ptr<const void> owner_;
+  // Non-null only when owner_ is a Bytes this Payload minted itself (the
+  // Bytes&& constructor) — the one case cow() may steal from.
+  const Bytes* minted_ = nullptr;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+[[nodiscard]] inline bool operator==(const Payload& a, const Payload& b) {
+  return std::equal(a.data(), a.data() + a.size(), b.data(), b.data() + b.size());
+}
+
+}  // namespace wdoc::net

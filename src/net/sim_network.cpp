@@ -1,5 +1,7 @@
 #include "net/sim_network.hpp"
 
+#include <algorithm>
+
 #include "obs/flight_recorder.hpp"
 
 namespace wdoc::net {
@@ -17,45 +19,46 @@ SimNetwork::Instruments SimNetwork::Instruments::make() {
 
 StationId SimNetwork::add_station(const StationLink& link) {
   StationId id = station_ids_.next();
+  WDOC_CHECK(id.value() == stations_.size() + 1, "station ids must stay dense");
   Station s;
   s.link = link;
-  stations_.emplace(id, std::move(s));
+  stations_.push_back(std::move(s));
   return id;
 }
 
-void SimNetwork::set_handler(StationId station, MessageHandler handler) {
-  auto it = stations_.find(station);
-  WDOC_CHECK(it != stations_.end(), "set_handler on unknown station");
-  it->second.handler = std::move(handler);
+void SimNetwork::set_handler(StationId id, MessageHandler handler) {
+  Station* s = station(id);
+  WDOC_CHECK(s != nullptr, "set_handler on unknown station");
+  s->handler = std::move(handler);
 }
 
 Status SimNetwork::set_link(StationId id, const StationLink& link) {
-  auto it = stations_.find(id);
-  if (it == stations_.end()) return {Errc::not_found, "no such station"};
-  it->second.link = link;
+  Station* s = station(id);
+  if (s == nullptr) return {Errc::not_found, "no such station"};
+  s->link = link;
   return Status::ok();
 }
 
 Result<StationLink> SimNetwork::link_of(StationId id) const {
-  auto it = stations_.find(id);
-  if (it == stations_.end()) return Error{Errc::not_found, "no such station"};
-  return it->second.link;
+  const Station* s = station(id);
+  if (s == nullptr) return Error{Errc::not_found, "no such station"};
+  return s->link;
 }
 
 Status SimNetwork::set_online(StationId id, bool online) {
-  auto it = stations_.find(id);
-  if (it == stations_.end()) return {Errc::not_found, "no such station"};
-  it->second.online = online;
+  Station* s = station(id);
+  if (s == nullptr) return {Errc::not_found, "no such station"};
+  s->online = online;
   return Status::ok();
 }
 
 bool SimNetwork::is_online(StationId id) const {
-  auto it = stations_.find(id);
-  return it != stations_.end() && it->second.online;
+  const Station* s = station(id);
+  return s != nullptr && s->online;
 }
 
 Status SimNetwork::set_pair_latency(StationId a, StationId b, SimTime latency) {
-  if (!stations_.contains(a) || !stations_.contains(b)) {
+  if (!has_station(a) || !has_station(b)) {
     return {Errc::not_found, "no such station"};
   }
   if (b < a) std::swap(a, b);
@@ -69,26 +72,24 @@ SimTime SimNetwork::transfer_time(std::uint64_t bytes, double bps) {
 }
 
 Status SimNetwork::send(Message msg) {
-  auto from_it = stations_.find(msg.from);
-  if (from_it == stations_.end()) return {Errc::not_found, "unknown sender"};
-  auto to_it = stations_.find(msg.to);
-  if (to_it == stations_.end()) return {Errc::not_found, "unknown receiver"};
-  Station& from = from_it->second;
-  Station& to = to_it->second;
+  Station* from = station(msg.from);
+  if (from == nullptr) return {Errc::not_found, "unknown sender"};
+  Station* to = station(msg.to);
+  if (to == nullptr) return {Errc::not_found, "unknown receiver"};
 
   const std::uint64_t size = msg.charged_size();
   msg.seq = ++msg_seq_;
-  from.stats.messages_sent++;
-  from.stats.bytes_sent += size;
+  from->stats.messages_sent++;
+  from->stats.bytes_sent += size;
   total_bytes_ += size;
   total_messages_++;
   obs_.messages_sent.inc();
   obs_.bytes_sent.inc(size);
 
-  if (!from.online || !to.online ||
-      (from.link.loss_rate > 0 && rng_.bernoulli(from.link.loss_rate)) ||
-      (to.link.loss_rate > 0 && rng_.bernoulli(to.link.loss_rate))) {
-    from.stats.messages_dropped++;
+  if (!from->online || !to->online ||
+      (from->link.loss_rate > 0 && rng_.bernoulli(from->link.loss_rate)) ||
+      (to->link.loss_rate > 0 && rng_.bernoulli(to->link.loss_rate))) {
+    from->stats.messages_dropped++;
     obs_.messages_dropped.inc();
     return Status::ok();  // silently lost, like the real thing
   }
@@ -115,7 +116,7 @@ Status SimNetwork::send(Message msg) {
       }
     }
     if (killed) {
-      from.stats.messages_dropped++;
+      from->stats.messages_dropped++;
       obs_.messages_dropped.inc();
       obs_.fault_drops.inc();
       return Status::ok();
@@ -123,18 +124,18 @@ Status SimNetwork::send(Message msg) {
   }
 
   // Uplink serialization (FIFO behind this sender's earlier messages).
-  SimTime depart = std::max(now_, from.up_busy_until) + transfer_time(size, from.link.up_bps);
-  from.up_busy_until = depart;
+  SimTime depart = std::max(now_, from->up_busy_until) + transfer_time(size, from->link.up_bps);
+  from->up_busy_until = depart;
   // Propagation: a per-pair override wins; otherwise the two stations'
   // to-core latencies add. Jitter adds a uniform sample from each side.
-  SimTime propagation = from.link.latency + to.link.latency;
-  {
+  SimTime propagation = from->link.latency + to->link.latency;
+  if (!pair_latency_.empty()) {
     StationId lo = msg.from, hi = msg.to;
     if (hi < lo) std::swap(lo, hi);
     auto pit = pair_latency_.find({lo, hi});
     if (pit != pair_latency_.end()) propagation = pit->second;
   }
-  for (const StationLink* link : {&from.link, &to.link}) {
+  for (const StationLink* link : {&from->link, &to->link}) {
     if (link->jitter_max > SimTime::zero()) {
       propagation += SimTime::micros(static_cast<std::int64_t>(
           rng_.uniform(static_cast<std::uint64_t>(link->jitter_max.as_micros()) + 1)));
@@ -148,33 +149,76 @@ Status SimNetwork::send(Message msg) {
   }
   SimTime arrive = depart + propagation;
   // Downlink serialization.
-  SimTime done = std::max(arrive, to.down_busy_until) + transfer_time(size, to.link.down_bps);
-  to.down_busy_until = done;
+  SimTime done = std::max(arrive, to->down_busy_until) + transfer_time(size, to->link.down_bps);
+  to->down_busy_until = done;
 
-  StationId to_id = msg.to;
-  SimTime sent_at = now_;
-  schedule_at(done, [this, to_id, sent_at, m = std::move(msg), size]() {
-    auto it = stations_.find(to_id);
-    if (it == stations_.end() || !it->second.online) return;
-    it->second.stats.messages_received++;
-    it->second.stats.bytes_received += size;
-    obs_.messages_received.inc();
-    obs_.bytes_received.inc(size);
-    obs_.delivery_latency_us.observe(
-        static_cast<double>((now_ - sent_at).as_micros()));
-    if (it->second.handler) it->second.handler(m);
-  });
+  // Delivery is a first-class event: the message (whose payloads are
+  // refcounted views) moves into the queue, no closure is allocated.
+  Event ev;
+  ev.at = done;
+  ev.seq = ++event_seq_;
+  ev.msg = std::move(msg);
+  ev.sent_at = now_;
+  ev.is_delivery = true;
+  push_event(std::move(ev));
   return Status::ok();
+}
+
+void SimNetwork::deliver(Event& ev) {
+  Station* to = station(ev.msg.to);
+  if (to == nullptr || !to->online) return;
+  const std::uint64_t size = ev.msg.charged_size();
+  to->stats.messages_received++;
+  to->stats.bytes_received += size;
+  obs_.messages_received.inc();
+  obs_.bytes_received.inc(size);
+  obs_.delivery_latency_us.observe(static_cast<double>((now_ - ev.sent_at).as_micros()));
+  if (to->handler) to->handler(ev.msg);
+}
+
+void SimNetwork::push_event(Event ev) {
+  events_.push_back(std::move(ev));
+  std::push_heap(events_.begin(), events_.end(), EventLater{});
+  note_queue_depth();
+}
+
+SimNetwork::Event SimNetwork::pop_event() {
+  std::pop_heap(events_.begin(), events_.end(), EventLater{});
+  Event ev = std::move(events_.back());
+  events_.pop_back();
+  note_queue_depth();
+  return ev;
 }
 
 void SimNetwork::schedule_at(SimTime at, std::function<void()> fn) {
   WDOC_CHECK(at >= now_, "schedule_at in the past");
-  events_.push(Event{at, ++event_seq_, std::move(fn), nullptr});
-  obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+  Event ev;
+  ev.at = at;
+  ev.seq = ++event_seq_;
+  ev.fn = std::move(fn);
+  push_event(std::move(ev));
 }
 
 void SimNetwork::schedule_after(SimTime delta, std::function<void()> fn) {
   schedule_at(now_ + delta, std::move(fn));
+}
+
+void SimNetwork::schedule_bulk(std::vector<std::pair<SimTime, std::function<void()>>> items) {
+  if (items.empty()) return;
+  events_.reserve(events_.size() + items.size());
+  for (auto& [at, fn] : items) {
+    WDOC_CHECK(at >= now_, "schedule_bulk in the past");
+    Event ev;
+    ev.at = at;
+    ev.seq = ++event_seq_;
+    ev.fn = std::move(fn);
+    events_.push_back(std::move(ev));
+  }
+  // One O(n) rebuild instead of k O(log n) sifts. The heap property is all
+  // pop order depends on — (at, seq) is a strict total order, so the run
+  // stays byte-identical to individual pushes.
+  std::make_heap(events_.begin(), events_.end(), EventLater{});
+  note_queue_depth();
 }
 
 Fabric::TimerHandle SimNetwork::schedule_on(StationId station, SimTime delta,
@@ -184,8 +228,12 @@ Fabric::TimerHandle SimNetwork::schedule_on(StationId station, SimTime delta,
   // deadlines that resolved early.
   (void)station;
   auto cancel = std::make_shared<std::atomic<bool>>(false);
-  events_.push(Event{now_ + delta, ++event_seq_, std::move(fn), cancel});
-  obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+  Event ev;
+  ev.at = now_ + delta;
+  ev.seq = ++event_seq_;
+  ev.fn = std::move(fn);
+  ev.cancel = cancel;
+  push_event(std::move(ev));
   return cancel;
 }
 
@@ -194,18 +242,14 @@ bool SimNetwork::step() {
     // Cancelled timers are discarded without running and without advancing
     // now_: an abandoned rpc deadline must not stretch the clock benches
     // read after run().
-    if (events_.top().cancel && events_.top().cancel->load()) {
-      events_.pop();
-      obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
-      continue;
-    }
-    // priority_queue::top returns const&; move via const_cast is the standard
-    // idiom for move-only payloads, but copying the function is fine here.
-    Event ev = events_.top();
-    events_.pop();
-    obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+    Event ev = pop_event();
+    if (ev.cancel && ev.cancel->load()) continue;
     now_ = ev.at;
-    ev.fn();
+    if (ev.is_delivery) {
+      deliver(ev);
+    } else {
+      ev.fn();
+    }
     return true;
   }
   return false;
@@ -220,11 +264,10 @@ std::size_t SimNetwork::run() {
 std::size_t SimNetwork::run_until(SimTime t) {
   std::size_t n = 0;
   for (;;) {
-    while (!events_.empty() && events_.top().cancel && events_.top().cancel->load()) {
-      events_.pop();
-      obs_.queue_depth.set(static_cast<std::int64_t>(events_.size()));
+    while (!events_.empty() && events_.front().cancel && events_.front().cancel->load()) {
+      (void)pop_event();
     }
-    if (events_.empty() || events_.top().at > t) break;
+    if (events_.empty() || events_.front().at > t) break;
     step();
     ++n;
   }
@@ -242,7 +285,7 @@ void SimNetwork::record_fault(const std::string& detail, StationId station) {
 
 Status SimNetwork::inject(const FaultPlan& plan) {
   WDOC_TRY(plan.validate());
-  auto known = [this](StationId s) { return stations_.contains(s); };
+  auto known = [this](StationId s) { return has_station(s); };
   for (const LossBurst& f : plan.loss_bursts) {
     if (!known(f.station)) return {Errc::not_found, "loss burst: unknown station"};
     if (f.at < now_) return {Errc::invalid_argument, "loss burst scheduled in the past"};
@@ -262,37 +305,40 @@ Status SimNetwork::inject(const FaultPlan& plan) {
     if (f.at < now_) return {Errc::invalid_argument, "crash scheduled in the past"};
   }
 
+  // A plan is many transitions; land them through the bulk path so a dense
+  // fault schedule doesn't pay one heap sift per edge.
+  std::vector<std::pair<SimTime, std::function<void()>>> timers;
   for (const LossBurst& f : plan.loss_bursts) {
-    schedule_at(f.at, [this, f] {
+    timers.emplace_back(f.at, [this, f] {
       fault_loss_[f.station] = f.rate;
       record_fault("loss burst " + std::to_string(f.rate) + " until t=" +
                        f.until.to_string(),
                    f.station);
     });
-    schedule_at(f.until, [this, f] {
+    timers.emplace_back(f.until, [this, f] {
       fault_loss_.erase(f.station);
       record_fault("loss burst cleared", f.station);
     });
   }
   for (const DelaySpike& f : plan.delay_spikes) {
-    schedule_at(f.at, [this, f] {
+    timers.emplace_back(f.at, [this, f] {
       fault_delay_[f.station] = f.extra;
       record_fault("delay spike +" + f.extra.to_string(), f.station);
     });
-    schedule_at(f.until, [this, f] {
+    timers.emplace_back(f.until, [this, f] {
       fault_delay_.erase(f.station);
       record_fault("delay spike cleared", f.station);
     });
   }
   for (const Partition& f : plan.partitions) {
     const std::uint64_t group = ++next_fault_group_;
-    schedule_at(f.at, [this, f, group] {
+    timers.emplace_back(f.at, [this, f, group] {
       for (StationId s : f.island) fault_group_[s] = group;
       record_fault("partition: island of " + std::to_string(f.island.size()) +
                        " station(s) isolated",
                    f.island.front());
     });
-    schedule_at(f.until, [this, f, group] {
+    timers.emplace_back(f.until, [this, f, group] {
       for (StationId s : f.island) {
         auto it = fault_group_.find(s);
         if (it != fault_group_.end() && it->second == group) fault_group_.erase(it);
@@ -301,28 +347,29 @@ Status SimNetwork::inject(const FaultPlan& plan) {
     });
   }
   for (const Crash& f : plan.crashes) {
-    schedule_at(f.at, [this, f] {
+    timers.emplace_back(f.at, [this, f] {
       (void)set_online(f.station, false);
       record_fault("station crash", f.station);
     });
     if (f.restart_at != SimTime::zero()) {
-      schedule_at(f.restart_at, [this, f] {
+      timers.emplace_back(f.restart_at, [this, f] {
         (void)set_online(f.station, true);
         record_fault("station restart", f.station);
       });
     }
   }
+  schedule_bulk(std::move(timers));
   return Status::ok();
 }
 
 const StationStats& SimNetwork::stats(StationId id) const {
-  auto it = stations_.find(id);
-  WDOC_CHECK(it != stations_.end(), "stats for unknown station");
-  return it->second.stats;
+  const Station* s = station(id);
+  WDOC_CHECK(s != nullptr, "stats for unknown station");
+  return s->stats;
 }
 
 void SimNetwork::reset_stats() {
-  for (auto& [_, s] : stations_) s.stats = StationStats{};
+  for (Station& s : stations_) s.stats = StationStats{};
   total_bytes_ = 0;
   total_messages_ = 0;
 }

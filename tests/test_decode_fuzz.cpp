@@ -118,29 +118,36 @@ TEST(DecodeFuzz, ChunkData) {
   d.transfer_id = 99;
   d.digest = digest128("blob");
   d.index = 3;
-  d.payload = Bytes{9, 8, 7, 6, 5};
-  d.chunk_len = static_cast<std::uint32_t>(d.payload.size());
+  const Bytes chunk{9, 8, 7, 6, 5};
+  d.chunk_len = static_cast<std::uint32_t>(chunk.size());
   d.has_payload = true;
-  d.chunk_digest = digest128(d.payload);
+  d.chunk_digest = digest128(chunk);
+  d.payload = net::Payload::copy_of(chunk);
+  // The chunk bytes ride out-of-band; fuzz the header against the real body
+  // (a mutated header that survives parsing must still match the body).
+  const net::Payload body = d.payload;
   fuzz_decoder(
-      d.encode(), [](const Bytes& b) { return net::ChunkData::decode(b).is_ok(); },
-      11);
-  // Synthetic (size-only) variant fuzzes too.
+      d.encode(),
+      [&](const Bytes& b) { return net::ChunkData::decode(b, body).is_ok(); }, 11);
+  // Synthetic (size-only) variant fuzzes too — with an empty body.
   net::ChunkData synth = d;
   synth.has_payload = false;
-  synth.payload.clear();
+  synth.payload = net::Payload{};
   synth.chunk_len = 4096;
   fuzz_decoder(
       synth.encode(),
-      [](const Bytes& b) { return net::ChunkData::decode(b).is_ok(); }, 12);
-  // A declared length that disagrees with the payload must not decode.
+      [](const Bytes& b) { return net::ChunkData::decode(b, net::Payload{}).is_ok(); },
+      12);
+  // A declared length that disagrees with the body must not decode.
   net::ChunkData lying = d;
-  lying.chunk_len = 4;  // payload is 5 bytes
-  EXPECT_FALSE(net::ChunkData::decode(lying.encode()).is_ok());
+  lying.chunk_len = 4;  // body is 5 bytes
+  EXPECT_FALSE(net::ChunkData::decode(lying.encode(), body).is_ok());
+  // Body bytes with no header claim are as corrupt as a missing body.
+  EXPECT_FALSE(net::ChunkData::decode(synth.encode(), body).is_ok());
   // Oversized declared lengths are rejected before any allocation.
   net::ChunkData huge = synth;
   huge.chunk_len = net::kMaxWireChunkBytes + 1;
-  EXPECT_FALSE(net::ChunkData::decode(huge.encode()).is_ok());
+  EXPECT_FALSE(net::ChunkData::decode(huge.encode(), net::Payload{}).is_ok());
 }
 
 TEST(DecodeFuzz, ChunkAck) {

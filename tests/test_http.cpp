@@ -305,8 +305,8 @@ TEST(Gateway, SearchReturnsRankedJson) {
   GatewayHarness h;
   Response rsp = h.gateway->handle(make_request(Method::get, "/search?q=storage"));
   EXPECT_EQ(rsp.status, 200);
-  EXPECT_NE(rsp.body.find("\"hits\":["), std::string::npos);
-  EXPECT_NE(rsp.body.find("\"corpus\":30"), std::string::npos);
+  EXPECT_NE(rsp.body.text().find("\"hits\":["), std::string::npos);
+  EXPECT_NE(rsp.body.text().find("\"corpus\":30"), std::string::npos);
 
   Response bad = h.gateway->handle(make_request(Method::get, "/search"));
   EXPECT_EQ(bad.status, 400);
@@ -371,8 +371,8 @@ TEST(Gateway, DocumentFetchServesStorageBackedBody) {
   Response rsp =
       h.gateway->handle(make_request(Method::get, "/doc?course=" + h.first_course));
   EXPECT_EQ(rsp.status, 200);
-  EXPECT_NE(rsp.body.find("<html>"), std::string::npos);
-  EXPECT_NE(rsp.body.find(h.first_course), std::string::npos);
+  EXPECT_NE(rsp.body.text().find("<html>"), std::string::npos);
+  EXPECT_NE(rsp.body.text().find(h.first_course), std::string::npos);
   EXPECT_EQ(h.gateway->handle(make_request(Method::get, "/doc?course=GHOST")).status, 404);
 }
 
@@ -397,9 +397,9 @@ TEST(Gateway, MetricsIsJsonWithBucketBounds) {
   ASSERT_TRUE(metrics.headers.count("Content-Type"));
   EXPECT_EQ(metrics.headers.at("Content-Type"), "application/json");
   // Histograms expose their bucket boundaries, not just aggregates.
-  EXPECT_NE(metrics.body.find("http.request_micros"), std::string::npos);
-  EXPECT_NE(metrics.body.find("\"buckets\":["), std::string::npos);
-  EXPECT_NE(metrics.body.find("\"le\":"), std::string::npos);
+  EXPECT_NE(metrics.body.text().find("http.request_micros"), std::string::npos);
+  EXPECT_NE(metrics.body.text().find("\"buckets\":["), std::string::npos);
+  EXPECT_NE(metrics.body.text().find("\"le\":"), std::string::npos);
 }
 
 TEST(Gateway, DebugSloSnapshotAndGating) {
@@ -410,7 +410,7 @@ TEST(Gateway, DebugSloSnapshotAndGating) {
   EXPECT_EQ(slo.headers.at("Content-Type"), "application/json");
   for (const char* needle : {"http.search.latency", "http.doc.latency",
                              "http.availability", "\"windows\"", "\"fast_alert\""}) {
-    EXPECT_NE(slo.body.find(needle), std::string::npos) << needle;
+    EXPECT_NE(slo.body.text().find(needle), std::string::npos) << needle;
   }
   EXPECT_EQ(h.gateway->handle(make_request(Method::post, "/debug/slo")).status, 405);
 

@@ -178,6 +178,43 @@ TEST(SimNetwork, PayloadSizeUsedWhenNoWireSize) {
   EXPECT_EQ(net.stats(a).bytes_sent, 164u);  // payload + 64B header
 }
 
+// Two timers at the SAME SimTime must fire in schedule order: the event
+// queue breaks at-ties by seq, and the explicit-heap rewrite must preserve
+// that strict (at, seq) total order.
+TEST(SimNetwork, SameTimeEventsRunInScheduleOrder) {
+  SimNetwork net;
+  std::vector<int> order;
+  net.schedule_at(SimTime::millis(10), [&] { order.push_back(1); });
+  net.schedule_at(SimTime::millis(10), [&] { order.push_back(2); });
+  net.schedule_at(SimTime::millis(5), [&] { order.push_back(0); });
+  net.schedule_at(SimTime::millis(10), [&] { order.push_back(3); });
+  net.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Two messages arriving at the same instant (identical links, identical
+// size, sent back to back at t=0) deliver in send order.
+TEST(SimNetwork, SameArrivalTimeDeliversInSendOrder) {
+  SimNetwork net;
+  StationId a = net.add_station();
+  StationId b = net.add_station();
+  StationId c = net.add_station();
+  std::vector<std::string> order;
+  net.set_handler(c, [&](const Message& m) { order.push_back(m.type); });
+  Message first;
+  first.from = a;
+  first.to = c;
+  first.type = "first";
+  Message second;
+  second.from = b;
+  second.to = c;
+  second.type = "second";
+  ASSERT_TRUE(net.send(std::move(first)).is_ok());
+  ASSERT_TRUE(net.send(std::move(second)).is_ok());
+  net.run();
+  EXPECT_EQ(order, (std::vector<std::string>{"first", "second"}));
+}
+
 TEST(SimNetwork, ScheduledWorkRunsInTimeOrder) {
   SimNetwork net;
   std::vector<int> order;
