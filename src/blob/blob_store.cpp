@@ -398,6 +398,28 @@ Result<net::Payload> BlobStore::chunk_payload(const Digest128& digest, std::uint
   return net::Payload::wrap(p.data, off, len);
 }
 
+void BlobStore::chunk_bits(const Digest128& digest, std::uint64_t size,
+                           std::uint32_t chunk_bytes, std::uint64_t bit_offset,
+                           std::vector<std::uint64_t>& words) const {
+  if (chunk_bytes == 0) return;
+  const std::uint32_t total = chunk_count(size, chunk_bytes);
+  auto set_bit = [&](std::uint64_t i) {
+    const std::uint64_t bit = bit_offset + i;
+    if (bit / 64 < words.size()) words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+  };
+  if (find(digest).has_value()) {
+    for (std::uint32_t i = 0; i < total; ++i) set_bit(i);
+    return;
+  }
+  auto it = partials_.find(digest);
+  if (it == partials_.end()) return;
+  const Partial& p = it->second;
+  if (p.info.chunk_bytes != chunk_bytes || p.info.chunks_total != total) return;
+  for (std::uint32_t i = 0; i < total; ++i) {
+    if (p.have[i]) set_bit(i);
+  }
+}
+
 void BlobStore::drop_partial(const Digest128& digest) {
   auto it = partials_.find(digest);
   if (it == partials_.end()) return;

@@ -129,6 +129,15 @@ class BlobStore {
   [[nodiscard]] Result<net::Payload> chunk_payload(const Digest128& digest, std::uint32_t index,
                                                    std::uint32_t chunk_bytes);
   void drop_partial(const Digest128& digest);
+  // Snapshot of this store's possession of `digest`'s chunks, packed one
+  // bit per chunk into `words` starting at absolute bit `bit_offset` (the
+  // swarm layer concatenates every blob of a manifest into one
+  // transfer-wide bitmap). A complete entry sets every bit, a partial
+  // mirrors its assembly bitmap, an unknown digest sets none. `words`
+  // must already be sized to cover bit_offset + chunk_count bits;
+  // geometry mismatches (different chunk_bytes) contribute nothing.
+  void chunk_bits(const Digest128& digest, std::uint64_t size, std::uint32_t chunk_bytes,
+                  std::uint64_t bit_offset, std::vector<std::uint64_t>& words) const;
   [[nodiscard]] std::size_t partial_count() const { return partials_.size(); }
   [[nodiscard]] std::uint64_t partial_bytes() const { return partial_bytes_; }
 

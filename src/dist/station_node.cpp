@@ -4,10 +4,13 @@
 #include <limits>
 
 #include "blob/chunk.hpp"
+#include "common/hash.hpp"
 #include "common/log.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "swarm/gossip.hpp"
+#include "swarm/stripe_tree.hpp"
 
 namespace wdoc::dist {
 
@@ -33,6 +36,15 @@ struct DistMetrics {
   obs::Counter& chunk_orphans;
   obs::Counter& chunk_repair_reqs;
   obs::Counter& chunk_repair_served;
+  obs::Counter& chunk_duplicate_rx;
+  obs::Counter& chunk_wasted_bytes;
+  obs::Counter& swarm_begins;
+  obs::Counter& swarm_haves;
+  obs::Counter& swarm_reqs;
+  obs::Counter& swarm_req_chunks;
+  obs::Counter& swarm_served;
+  obs::Counter& swarm_suppressed;
+  obs::Counter& swarm_orphans;
 
   static DistMetrics& get() {
     static DistMetrics* m = [] {
@@ -47,6 +59,11 @@ struct DistMetrics {
           reg.counter("dist.chunk.duplicates"), reg.counter("dist.chunk.rejects"),
           reg.counter("dist.chunk.retransmits"), reg.counter("dist.chunk.orphaned"),
           reg.counter("dist.chunk.repair_reqs"), reg.counter("dist.chunk.repair_served"),
+          reg.counter("dist.chunk.duplicate_rx"), reg.counter("dist.chunk.wasted_bytes"),
+          reg.counter("swarm.begins"),        reg.counter("swarm.haves"),
+          reg.counter("swarm.reqs"),          reg.counter("swarm.req_chunks"),
+          reg.counter("swarm.served"),        reg.counter("swarm.relay_suppressed"),
+          reg.counter("swarm.orphans"),
       };
     }();
     return *m;
@@ -252,6 +269,10 @@ Status StationConfig::validate() const {
   }
   WDOC_TRY(rpc.validate());
   WDOC_TRY(chunk.validate());
+  WDOC_TRY(swarm.validate());
+  if (swarm.enabled && !chunk.enabled) {
+    return {Errc::invalid_argument, "swarm mode requires chunked transfers"};
+  }
   if (failover_threshold == 0) {
     return {Errc::invalid_argument, "failover_threshold must be >= 1"};
   }
@@ -384,6 +405,7 @@ Status StationNode::broadcast_push(const DocManifest& manifest) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
   if (!config_.chunk.enabled) return broadcast_push_store_forward(manifest);
+  if (config_.swarm.enabled) return start_swarm_push(manifest);
   return start_chunked_push(manifest);
 }
 
@@ -392,6 +414,7 @@ Status StationNode::broadcast_push_store_forward(const DocManifest& manifest) {
   if (store_->doc(manifest.doc_key) == nullptr) {
     WDOC_TRY(store_->put_instance(manifest, /*ephemeral=*/false));
   }
+  last_delivery_ = fabric_->now();
   auto& tracer = obs::Tracer::global();
   const std::uint64_t trace_id =
       obs::derive_trace_id((self_.value() << 24) | ++next_req_);
@@ -417,6 +440,7 @@ Status StationNode::start_chunked_push(const DocManifest& manifest) {
     t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
   }
   t.delivered = true;  // the instructor holds the persistent instance
+  last_delivery_ = fabric_->now();
   t.trace_id = obs::derive_trace_id(transfer_id);
   t.span = obs::Tracer::global().begin("dist.push " + manifest.doc_key, 0,
                                        fabric_->now(), self_.value(), t.trace_id);
@@ -467,6 +491,17 @@ void StationNode::enqueue_held_chunks(Transfer& t, ChildCursor& cursor) {
     const BlobRef& b = t.manifest.blobs[ordinal];
     const std::uint32_t total = blob::chunk_count(b.size, t.chunk_bytes);
     for (std::uint32_t i = 0; i < total; ++i) {
+      if (t.swarm) {
+        // A stripe cursor carries only its own tree's chunks, and skips
+        // any the child has already reported owning.
+        const std::uint32_t g = t.chunk_prefix[ordinal] + i;
+        if (swarm::stripe_of(g, t.stripe_trees) != cursor.tree) continue;
+        if (t.sched && cursor.child_pos != 0 && t.sched->peer_has(cursor.child_pos, g)) {
+          ++stats_.swarm_relay_suppressed;
+          DistMetrics::get().swarm_suppressed.inc();
+          continue;
+        }
+      }
       if (bs.has_chunk(b.digest, i, t.chunk_bytes)) {
         cursor.pending.push_back(chunk_key(ordinal, i));
       }
@@ -595,6 +630,7 @@ void StationNode::deliver_transfer(std::uint64_t transfer_id) {
   if (it == transfers_.end() || it->second.delivered) return;
   Transfer& t = it->second;
   t.delivered = true;
+  last_delivery_ = fabric_->now();
   const std::string& key = t.manifest.doc_key;
   const StoredDoc* d = store_->doc(key);
   if (d == nullptr) {
@@ -609,9 +645,15 @@ void StationNode::maybe_retire_transfer(std::uint64_t transfer_id) {
   if (it == transfers_.end()) return;
   const Transfer& t = it->second;
   if (!t.delivered) return;
+  // A swarm transfer stays alive while its gossip loop runs — it may still
+  // be serving chunks to (or pulling them for) incomplete neighbors.
+  if (t.swarm && !t.gossip_done) return;
+  if (t.swarm && !(t.swarm_queue.empty() && t.swarm_serve_queue.empty())) return;
   for (const ChildCursor& c : t.children) {
     if (!c.pending.empty() || !c.in_flight.empty()) return;
   }
+  if (t.gossip_timer) t.gossip_timer->store(true);
+  if (t.pace_timer) t.pace_timer->store(true);
   obs::Tracer::global().end(t.span, fabric_->now());
   transfers_.erase(it);
 }
@@ -693,18 +735,24 @@ void StationNode::on_chunk_data(const net::Message& msg) {
     }
     return;
   }
-  if (add.value() == blob::BlobStore::ChunkAdd::duplicate) {
+  const bool duplicate = add.value() == blob::BlobStore::ChunkAdd::duplicate;
+  if (duplicate) {
+    // The wire bytes were spent either way — account the waste (swarm mode
+    // is where overlapping sources make this reachable at scale).
     ++stats_.chunk_duplicates;
-    DistMetrics::get().chunk_duplicates.inc();
-    return;
+    ++stats_.chunk_duplicate_rx;
+    stats_.chunk_wasted_bytes += d.chunk_len;
+    auto& dm = DistMetrics::get();
+    dm.chunk_duplicates.inc();
+    dm.chunk_duplicate_rx.inc();
+    dm.chunk_wasted_bytes.inc(d.chunk_len);
+  } else {
+    ++stats_.chunks_received;
   }
-  ++stats_.chunks_received;
   if (d.transfer_id == 0) return;  // repair/pull data: no relay, no transfer state
   auto it = transfers_.find(d.transfer_id);
   if (it == transfers_.end()) return;
   Transfer& t = it->second;
-  // Cut-through relay: this verified chunk forwards to every child now,
-  // before the next chunk arrives.
   std::uint32_t ordinal = std::numeric_limits<std::uint32_t>::max();
   for (std::uint32_t i = 0; i < t.manifest.blobs.size(); ++i) {
     if (t.manifest.blobs[i].digest == d.digest) {
@@ -712,8 +760,29 @@ void StationNode::on_chunk_data(const net::Message& msg) {
       break;
     }
   }
-  if (ordinal != std::numeric_limits<std::uint32_t>::max()) {
-    const std::uint64_t key = chunk_key(ordinal, d.index);
+  if (ordinal == std::numeric_limits<std::uint32_t>::max()) return;
+  if (t.swarm && t.sched && ordinal + 1 < t.chunk_prefix.size()) {
+    // Even a duplicate settles the in-flight request for this chunk.
+    t.sched->mark_have(t.chunk_prefix[ordinal] + d.index, fabric_->now());
+  }
+  if (duplicate) return;
+  // Cut-through relay: this verified chunk forwards to every child now,
+  // before the next chunk arrives. In swarm mode only the chunk's stripe
+  // cursors carry it, and children already known to hold it are skipped.
+  const std::uint64_t key = chunk_key(ordinal, d.index);
+  if (t.swarm) {
+    const std::uint32_t g = t.chunk_prefix[ordinal] + d.index;
+    const std::uint32_t tree = swarm::stripe_of(g, t.stripe_trees);
+    for (ChildCursor& c : t.children) {
+      if (c.tree != tree) continue;
+      if (t.sched && c.child_pos != 0 && t.sched->peer_covered(c.child_pos, g)) {
+        ++stats_.swarm_relay_suppressed;
+        DistMetrics::get().swarm_suppressed.inc();
+        continue;
+      }
+      enqueue_swarm_send(d.transfer_id, t, {c.child, c.child_pos, key, false});
+    }
+  } else {
     for (ChildCursor& c : t.children) c.pending.push_back(key);
     for (ChildCursor& c : t.children) pump_cursor(d.transfer_id, c);
   }
@@ -794,6 +863,510 @@ void StationNode::on_chunk_rsp(const net::Message& msg) {
     return;
   }
   (void)rpc_.complete<std::uint32_t>(rsp.value().req_id, rsp.value().served);
+}
+
+// --- swarm mode (multi-source distribution, DESIGN.md §4f) -------------------
+
+Status StationNode::start_swarm_push(const DocManifest& manifest) {
+  std::uint64_t transfer_id = (self_.value() << 24) | ++next_req_;
+  Transfer t;
+  t.manifest = manifest;
+  t.chunk_bytes = config_.chunk.chunk_bytes;
+  for (const BlobRef& b : manifest.blobs) {
+    t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
+  }
+  if (t.total_chunks > net::kMaxWireChunks) {
+    return {Errc::invalid_argument, "transfer too large for swarm mode"};
+  }
+  t.delivered = true;  // the instructor holds the persistent instance
+  last_delivery_ = fabric_->now();
+  t.trace_id = obs::derive_trace_id(transfer_id);
+  t.span = obs::Tracer::global().begin("swarm.push " + manifest.doc_key, 0,
+                                       fabric_->now(), self_.value(), t.trace_id);
+  auto [it, inserted] = transfers_.emplace(transfer_id, std::move(t));
+  WDOC_CHECK(inserted, "duplicate transfer id");
+  init_swarm(transfer_id, it->second, config_.swarm.trees);
+  open_swarm_children(transfer_id, it->second);
+  maybe_retire_transfer(transfer_id);
+  return Status::ok();
+}
+
+void StationNode::init_swarm(std::uint64_t transfer_id, Transfer& t, std::uint32_t trees) {
+  t.swarm = true;
+  swarm::SwarmConfig cfg = config_.swarm;
+  cfg.trees = std::clamp<std::uint32_t>(trees, 1, net::kMaxWireTrees);
+  t.stripe_trees = cfg.trees;
+  t.chunk_prefix.assign(1, 0);
+  for (const BlobRef& b : t.manifest.blobs) {
+    t.chunk_prefix.push_back(t.chunk_prefix.back() +
+                             blob::chunk_count(b.size, t.chunk_bytes));
+  }
+  const std::uint64_t n = tree_order().size();
+  const std::uint32_t total = static_cast<std::uint32_t>(t.total_chunks);
+  // The tie-break seed is per-station (different stations spread their
+  // pulls differently); the neighbor seed is the transfer id, which every
+  // station knows, so both ends of a tree link derive the same sets.
+  t.sched = std::make_unique<swarm::SwarmScheduler>(
+      total, cfg, hash_combine(self_.value(), transfer_id), fabric_->now());
+  t.acting_parent.assign(t.stripe_trees, 0);
+  t.acting_since.assign(t.stripe_trees, fabric_->now());
+  for (std::uint32_t tree = 0; tree < t.stripe_trees; ++tree) {
+    auto p = swarm::stripe_parent(position_, tree, t.stripe_trees, m_, n);
+    t.sched->set_stripe_parent(tree, p.value_or(0));
+    t.acting_parent[tree] = p.value_or(0);
+  }
+  for (std::uint64_t nb : swarm::gossip_neighbors(position_, m_, n, t.stripe_trees,
+                                                  config_.swarm.extra_peers, transfer_id)) {
+    t.sched->add_peer(nb);
+  }
+  // Seed our own bitmap from whatever the blob store already holds
+  // (everything at the instructor; possibly shared blobs elsewhere).
+  std::vector<std::uint64_t> words((total + 63) / 64, 0);
+  const auto& bs = store_->blobs();
+  for (std::uint32_t ordinal = 0; ordinal < t.manifest.blobs.size(); ++ordinal) {
+    const BlobRef& b = t.manifest.blobs[ordinal];
+    bs.chunk_bits(b.digest, b.size, t.chunk_bytes, t.chunk_prefix[ordinal], words);
+  }
+  swarm::Bitmap have;
+  have.assign_words(std::move(words), total);
+  t.sched->seed_self(have, fabric_->now());
+  schedule_swarm_tick(transfer_id);
+}
+
+void StationNode::open_swarm_children(std::uint64_t transfer_id, Transfer& t) {
+  if (position_ == 0) return;
+  const std::uint64_t n = tree_order().size();
+  net::SwarmBegin begin;
+  begin.transfer_id = transfer_id;
+  begin.chunk_bytes = t.chunk_bytes;
+  begin.trees = t.stripe_trees;
+  Writer w;
+  t.manifest.serialize(w);
+  begin.manifest = w.take();
+  // One refcounted begin shared by every stripe child; a station that is
+  // our child in several trees gets one begin but one cursor per tree.
+  const net::Payload payload{begin.encode()};
+  std::set<std::uint64_t> announced;
+  for (std::uint32_t tree = 0; tree < t.stripe_trees; ++tree) {
+    for (std::uint64_t child_pos :
+         swarm::stripe_children(position_, tree, t.stripe_trees, m_, n)) {
+      if (child_pos < 1 || child_pos > n || child_pos == position_) continue;
+      StationId cid = tree_order()[child_pos - 1];
+      if (announced.insert(child_pos).second) {
+        net::Message out;
+        out.from = self_;
+        out.to = cid;
+        out.type = kSwarmBegin;
+        out.payload = payload;
+        out.wire_size = t.manifest.structure_bytes + payload.size();
+        out.trace = obs::TraceContext{t.trace_id, t.span, t.trace_sampled};
+        DistMetrics::get().swarm_begins.inc();
+        (void)fabric_->send(std::move(out));
+        ++stats_.pushes_forwarded;
+      }
+      ChildCursor cursor;
+      cursor.child = cid;
+      cursor.tree = tree;
+      cursor.child_pos = child_pos;
+      t.children.push_back(std::move(cursor));
+      enqueue_held_chunks(t, t.children.back());
+    }
+  }
+  // Drain the cursors round-robin into the paced send queue, so the
+  // instructor's uplink interleaves stripe trees fairly (a sequential
+  // drain would delay one whole tree by the other's backlog).
+  bool more = true;
+  while (more) {
+    more = false;
+    for (ChildCursor& c : t.children) {
+      if (c.pending.empty()) continue;
+      enqueue_swarm_send(transfer_id, t,
+                         {c.child, c.child_pos, c.pending.front(), false});
+      c.pending.pop_front();
+      more = true;
+    }
+  }
+}
+
+void StationNode::resend_swarm_begin(std::uint64_t transfer_id, const Transfer& t,
+                                     const ChildCursor& c) {
+  net::SwarmBegin begin;
+  begin.transfer_id = transfer_id;
+  begin.chunk_bytes = t.chunk_bytes;
+  begin.trees = t.stripe_trees;
+  Writer w;
+  t.manifest.serialize(w);
+  begin.manifest = w.take();
+  net::Message out;
+  out.from = self_;
+  out.to = c.child;
+  out.type = kSwarmBegin;
+  out.payload = net::Payload{begin.encode()};
+  out.wire_size = t.manifest.structure_bytes + out.payload.size();
+  out.trace = obs::TraceContext{t.trace_id, t.span, t.trace_sampled};
+  DistMetrics::get().swarm_begins.inc();
+  (void)fabric_->send(std::move(out));
+}
+
+SimTime StationNode::swarm_pace_interval(const Transfer& t) const {
+  // One chunk's serialization time on our own uplink (fabrics without a
+  // link model fall back to the configured floor). Sending at most one
+  // chunk per interval keeps the fabric's FIFO queue a chunk or two deep.
+  double bps = fabric_->uplink_bps(self_);
+  if (bps <= 0) bps = config_.min_bandwidth_bps;
+  const double bytes = static_cast<double>(t.chunk_bytes) + net::kWireHeaderBytes;
+  return SimTime::seconds(bytes * 8.0 / bps);
+}
+
+void StationNode::enqueue_swarm_send(std::uint64_t transfer_id, Transfer& t,
+                                     SwarmSend entry) {
+  (entry.serve ? t.swarm_serve_queue : t.swarm_queue).push_back(entry);
+  if (t.pacing) return;
+  t.pacing = true;
+  // First send goes out immediately (cut-through); the timer only paces
+  // the backlog behind it.
+  swarm_pace_tick(transfer_id);
+}
+
+void StationNode::swarm_pace_tick(std::uint64_t transfer_id) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  // Swarm relays are unacked: a per-chunk ack would ride the child's
+  // already-saturated uplink FIFO behind its own relays, and the window
+  // stalls would halve pipeline throughput. Loss shows up as a bitmap
+  // hole and is recovered by the rarest-first pull path instead.
+  bool sent = false;
+  while (!sent && !(t.swarm_queue.empty() && t.swarm_serve_queue.empty())) {
+    // Relays before serves, but after serve_stride consecutive relays one
+    // serve cuts in (see the queue comment in the header).
+    const bool serve_turn =
+        !t.swarm_serve_queue.empty() &&
+        (t.swarm_queue.empty() ||
+         t.relays_since_serve >= config_.swarm.serve_stride);
+    std::deque<SwarmSend>& q =
+        serve_turn ? t.swarm_serve_queue : t.swarm_queue;
+    const SwarmSend entry = q.front();
+    q.pop_front();
+    if (dead_.contains(entry.to)) continue;
+    if (t.sched && entry.peer_pos != 0) {
+      const std::uint32_t ordinal = key_ordinal(entry.key);
+      const std::uint32_t g = ordinal + 1 < t.chunk_prefix.size()
+                                  ? t.chunk_prefix[ordinal] + key_index(entry.key)
+                                  : 0;
+      // A relay yields to the receiver's own pull of the chunk (its
+      // pending bit); a serve IS that pull being answered, so it only
+      // yields to confirmed possession.
+      const bool covered = entry.serve ? t.sched->peer_has(entry.peer_pos, g)
+                                       : t.sched->peer_covered(entry.peer_pos, g);
+      if (ordinal + 1 < t.chunk_prefix.size() && covered) {
+        // The receiver reported the chunk (or a request for it) after this
+        // send was queued — drop it, count it.
+        ++stats_.swarm_relay_suppressed;
+        DistMetrics::get().swarm_suppressed.inc();
+        continue;
+      }
+    }
+    if (!send_chunk(transfer_id, t, entry.to, entry.key, /*req_id=*/0,
+                    /*retransmit=*/false)
+             .is_ok()) {
+      continue;
+    }
+    sent = true;
+    if (entry.serve) {
+      t.relays_since_serve = 0;
+      ++stats_.swarm_chunks_served;
+      DistMetrics::get().swarm_served.inc();
+    } else {
+      ++t.relays_since_serve;
+    }
+  }
+  if (!sent && t.swarm_queue.empty() && t.swarm_serve_queue.empty()) {
+    // Idle tick with nothing left: the link goes quiet immediately.
+    t.pacing = false;
+    maybe_retire_transfer(transfer_id);
+    return;
+  }
+  // Stay "busy" for one chunk-time after every send even if the queue is
+  // momentarily empty — a relay enqueued a moment later must not bypass
+  // the pace and burst onto the wire behind the chunk still serializing.
+  t.pacing = true;
+  t.pace_timer = fabric_->schedule_on(
+      self_, swarm_pace_interval(t),
+      [this, transfer_id] { swarm_pace_tick(transfer_id); });
+}
+
+void StationNode::schedule_swarm_tick(std::uint64_t transfer_id) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  it->second.gossip_timer =
+      fabric_->schedule_on(self_, config_.swarm.gossip_interval,
+                           [this, transfer_id] { on_swarm_tick(transfer_id); });
+}
+
+void StationNode::on_swarm_tick(std::uint64_t transfer_id) {
+  auto it = transfers_.find(transfer_id);
+  if (it == transfers_.end()) return;
+  Transfer& t = it->second;
+  if (!t.swarm || t.sched == nullptr || t.gossip_done) return;
+  if (!fabric_->is_online(self_)) {
+    // Crashed mid-transfer: the swarm is done with us. If we restart later
+    // the blob-level pull/repair path catches us up; keeping the gossip
+    // timer alive would run the simulation clock out to max_rounds.
+    t.gossip_done = true;
+    maybe_retire_transfer(transfer_id);
+    return;
+  }
+  ++t.gossip_rounds;
+  const SimTime now = fabric_->now();
+  const std::uint64_t n = tree_order().size();
+  const std::uint32_t total = static_cast<std::uint32_t>(t.total_chunks);
+  // Stripe-ancestor adoption: while the closest expected ancestor of a
+  // stripe tree stays gossip-silent past stall_timeout, walk one level up
+  // and start gossiping with that ancestor too (one level per walk — each
+  // adopted ancestor gets a full timeout to answer before we pass it).
+  // Only the head of an orphaned subtree walks; its descendants keep
+  // hearing their (recovering) parent.
+  for (std::uint32_t tree = 0; tree < t.stripe_trees; ++tree) {
+    const std::uint64_t ap = t.acting_parent[tree];
+    if (ap == 0 || t.sched->complete()) continue;
+    const SimTime heard = t.sched->peer_heard_at(ap);
+    const SimTime ref = heard > t.acting_since[tree] ? heard : t.acting_since[tree];
+    if (now - ref <= config_.swarm.stall_timeout) continue;
+    auto up = swarm::stripe_parent(ap, tree, t.stripe_trees, m_, n);
+    t.acting_parent[tree] = up.value_or(0);
+    t.acting_since[tree] = now;
+    if (up.has_value() && up.value() != position_) t.sched->add_peer(up.value());
+  }
+  // A child that has never gossiped may simply have lost its SwarmBegin
+  // (it is sent once per stripe tree; a lossy link can drop every copy,
+  // and gossip for an unknown transfer is discarded on arrival). After a
+  // startup grace — a healthy child's first gossip arrives within a round
+  // or two, and begins carry a whole manifest, so eager re-sends would
+  // steal chunk-sized slots from the uplink right at ramp-up — re-send
+  // every few rounds until the child speaks; begins are idempotent.
+  if (t.gossip_rounds > 8 && t.gossip_rounds % 4 == 1) {
+    std::set<std::uint64_t> silent;
+    for (const ChildCursor& c : t.children) {
+      if (c.child_pos < 1 || c.child_pos > n) continue;
+      if (dead_.contains(c.child)) continue;
+      if (t.sched->peer_heard_at(c.child_pos) != SimTime::zero()) continue;
+      if (silent.insert(c.child_pos).second) resend_swarm_begin(transfer_id, t, c);
+    }
+  }
+  // Advertised backlog approximates a new request's serve latency in
+  // chunk-times, not raw queue length: while the uplink is relay-busy a
+  // queued serve waits serve_stride relay slots per position, so each one
+  // costs (stride + 1) chunk-times. A raw count makes a stride-throttled
+  // interior server look as cheap as an idle leaf, and every requester
+  // herds onto it.
+  const std::size_t relay_q = t.swarm_queue.size();
+  const std::size_t serve_q = t.swarm_serve_queue.size();
+  // "Relay-busy" can't be read off the queue (cut-through keeps it near
+  // empty between arrivals): a station with stripe children keeps relaying
+  // until its own bitmap completes.
+  const bool relay_busy = !t.children.empty() && !t.sched->complete();
+  const std::size_t serve_cost =
+      relay_busy ? std::min<std::size_t>(config_.swarm.serve_stride, 3) + 1 : 1;
+  // The relay-busy base term prices the latency a FIRST serve would see
+  // even with an empty queue: cut-through keeps a busy relay's queue near
+  // zero between arrivals, and without the base term such a station
+  // advertises the same zero as a genuinely idle leaf.
+  const std::size_t base = relay_busy ? serve_cost : 0;
+  const auto backlog = static_cast<std::uint32_t>(std::min<std::size_t>(
+      base + relay_q + serve_q * serve_cost,
+      std::numeric_limits<std::uint32_t>::max()));
+  auto& dm = DistMetrics::get();
+  // Our bitmap to every known peer — one refcounted buffer for all sends.
+  // Gossip goes out BEFORE the termination check below: the round on which
+  // a station terminates is the round its neighbors learn it is complete,
+  // otherwise their view of us freezes one chunk short and they gossip
+  // until max_rounds waiting for it.
+  net::SwarmHave have;
+  have.transfer_id = transfer_id;
+  have.position = position_;
+  have.backlog = backlog;
+  have.recovering = t.sched->recovering_mask();
+  have.total_chunks = total;
+  have.words = t.sched->self().words();
+  have.pending_words = t.sched->pending_words();
+  const net::Payload have_payload{have.encode()};
+  for (std::uint64_t pos : t.sched->peer_positions()) {
+    if (pos < 1 || pos > n || pos == position_) continue;
+    StationId peer = tree_order()[pos - 1];
+    if (dead_.contains(peer)) continue;
+    net::Message out;
+    out.from = self_;
+    out.to = peer;
+    out.type = kSwarmHave;
+    out.payload = have_payload;
+    if (fabric_->send(std::move(out)).is_ok()) {
+      ++stats_.swarm_haves_sent;
+      dm.swarm_haves.inc();
+    }
+  }
+  // Rarest-first pulls for stalled stripes, our bitmap piggybacked.
+  for (const swarm::SwarmPlan& plan : t.sched->plan(now)) {
+    if (plan.peer < 1 || plan.peer > n || plan.chunks.empty()) continue;
+    StationId peer = tree_order()[plan.peer - 1];
+    if (dead_.contains(peer)) continue;
+    net::SwarmReq req;
+    req.transfer_id = transfer_id;
+    req.position = position_;
+    req.backlog = backlog;
+    req.indices = plan.chunks;
+    req.total_chunks = total;
+    req.have_words = t.sched->self().words();
+    req.pending_words = t.sched->pending_words();
+    net::Message out;
+    out.from = self_;
+    out.to = peer;
+    out.type = kSwarmReq;
+    out.payload = req.encode();
+    if (fabric_->send(std::move(out)).is_ok()) {
+      ++stats_.swarm_reqs_sent;
+      stats_.swarm_chunks_requested += plan.chunks.size();
+      dm.swarm_reqs.inc();
+      dm.swarm_req_chunks.inc(plan.chunks.size());
+    }
+  }
+  // Termination: stop once we are complete and, as far as gossip shows,
+  // every neighbor is too — or nothing has changed and no needy neighbor
+  // has been heard for idle_rounds (a crashed neighbor's bitmap freezes
+  // forever; waiting on it would keep the whole cluster's timers alive).
+  const std::uint64_t sum = t.sched->state_sum();
+  const bool self_done = t.delivered && t.sched->complete();
+  const bool quiet = sum == t.last_state_sum && !t.gossip_heard;
+  t.idle_rounds = (self_done && quiet) ? t.idle_rounds + 1 : 0;
+  t.last_state_sum = sum;
+  t.gossip_heard = false;
+  if (t.gossip_rounds >= config_.swarm.max_rounds ||
+      (self_done &&
+       (t.sched->peers_complete() || t.idle_rounds >= config_.swarm.idle_rounds))) {
+    t.gossip_done = true;
+    maybe_retire_transfer(transfer_id);
+    return;
+  }
+  schedule_swarm_tick(transfer_id);
+}
+
+void StationNode::on_swarm_begin(const net::Message& msg) {
+  auto begin = net::SwarmBegin::decode(msg.payload);
+  if (!begin) {
+    WDOC_ERROR("swarm begin decode failed: %s", begin.message().c_str());
+    return;
+  }
+  Reader mr(begin.value().manifest);
+  auto manifest = DocManifest::deserialize(mr);
+  if (!manifest) {
+    WDOC_ERROR("swarm begin manifest decode failed: %s", manifest.message().c_str());
+    return;
+  }
+  ++stats_.pushes_received;
+  const std::uint64_t transfer_id = begin.value().transfer_id;
+  // A station is a child in several stripe trees: every tree's parent
+  // announces, the first begin wins, the rest are idempotent no-ops (and
+  // the redundancy is what makes a lost begin survivable under loss).
+  if (transfers_.contains(transfer_id)) return;
+  const DocManifest& m = manifest.value();
+  Transfer t;
+  t.manifest = m;
+  t.chunk_bytes = begin.value().chunk_bytes;
+  for (const BlobRef& b : m.blobs) {
+    t.total_chunks += blob::chunk_count(b.size, t.chunk_bytes);
+  }
+  if (t.total_chunks > net::kMaxWireChunks) return;
+  t.trace_id = msg.trace.trace_id;
+  t.trace_sampled = msg.trace.sampled;
+  t.span = obs::Tracer::global().begin("swarm.push.hop " + m.doc_key, msg.trace.span_id,
+                                       fabric_->now(), self_.value(), t.trace_id);
+  if (store_->doc(m.doc_key) == nullptr) (void)store_->put_reference(m);
+  auto& bs = store_->blobs();
+  for (const BlobRef& b : m.blobs) {
+    if (bs.find(b.digest).has_value() || b.size == 0) continue;
+    (void)bs.begin_partial(b.digest, b.size, b.type, t.chunk_bytes);
+  }
+  auto [it, inserted] = transfers_.emplace(transfer_id, std::move(t));
+  WDOC_CHECK(inserted, "duplicate transfer id");
+  // The stripe count comes from the wire, not local config — the whole
+  // cluster must agree on the forest geometry.
+  init_swarm(transfer_id, it->second, begin.value().trees);
+  open_swarm_children(transfer_id, it->second);
+  if (transfer_blobs_complete(it->second)) deliver_transfer(transfer_id);
+  maybe_retire_transfer(transfer_id);
+}
+
+bool StationNode::position_matches(std::uint64_t position, StationId from) const {
+  return position >= 1 && position <= tree_order().size() &&
+         tree_order()[position - 1] == from;
+}
+
+void StationNode::on_swarm_have(const net::Message& msg) {
+  auto have = net::SwarmHave::decode(msg.payload);
+  if (!have) return;
+  const net::SwarmHave& h = have.value();
+  auto it = transfers_.find(h.transfer_id);
+  if (it == transfers_.end()) {
+    DistMetrics::get().swarm_orphans.inc();
+    return;
+  }
+  Transfer& t = it->second;
+  if (!t.swarm || t.sched == nullptr) return;
+  if (std::uint64_t{h.total_chunks} != t.total_chunks) return;  // geometry mismatch
+  if (!position_matches(h.position, msg.from)) return;
+  swarm::PeerReport report;
+  report.have = &h.words;
+  report.pending = &h.pending_words;
+  report.backlog = h.backlog;
+  report.recovering = h.recovering;
+  report.now = fabric_->now();
+  t.sched->peer_update(h.position, report);
+  // Only an *incomplete* neighbor holds this transfer open — it may still
+  // need our serves. Completed neighbors echoing their full bitmaps must
+  // not reset the idle countdown, or the cluster keep-alives itself to
+  // max_rounds after everyone is done.
+  if (!t.sched->peer_complete(h.position)) t.gossip_heard = true;
+}
+
+void StationNode::on_swarm_req(const net::Message& msg) {
+  auto req = net::SwarmReq::decode(msg.payload);
+  if (!req) return;
+  const net::SwarmReq& q = req.value();
+  auto it = transfers_.find(q.transfer_id);
+  if (it == transfers_.end()) {
+    DistMetrics::get().swarm_orphans.inc();
+    return;
+  }
+  Transfer& t = it->second;
+  if (!t.swarm || t.sched == nullptr) return;
+  if (std::uint64_t{q.total_chunks} != t.total_chunks) return;
+  if (!position_matches(q.position, msg.from)) return;
+  t.gossip_heard = true;  // an explicit request is always a sign of need
+  // A request doubles as gossip: the piggybacked bitmaps update our view
+  // (and suppress future relays of chunks the requester has or is pulling).
+  swarm::PeerReport report;
+  report.have = &q.have_words;
+  report.pending = &q.pending_words;
+  report.backlog = q.backlog;
+  report.now = fabric_->now();
+  t.sched->peer_update(q.position, report);
+  std::uint32_t queued = 0;
+  for (std::uint32_t g : q.indices) {
+    if (queued >= config_.swarm.request_batch) break;  // hostile-length guard
+    // g -> (ordinal, index) through the prefix table; zero-chunk blobs make
+    // prefix values repeat, so take the last blob whose base covers g.
+    auto ub = std::upper_bound(t.chunk_prefix.begin(), t.chunk_prefix.end(), g);
+    if (ub == t.chunk_prefix.begin()) continue;
+    const auto ordinal = static_cast<std::uint32_t>(ub - t.chunk_prefix.begin()) - 1;
+    if (ordinal >= t.manifest.blobs.size()) continue;
+    const std::uint32_t index = g - t.chunk_prefix[ordinal];
+    // Serves share the paced send queue with stripe relays, so a burst of
+    // requests can't stack a multi-second FIFO on our uplink. Chunks we
+    // don't hold fail the send at pace time and the requester re-plans.
+    enqueue_swarm_send(q.transfer_id, t,
+                       {msg.from, q.position, chunk_key(ordinal, index), true});
+    ++queued;
+  }
 }
 
 Status StationNode::pull_blob_chunks(BlobPull pull) {
@@ -1003,6 +1576,12 @@ void StationNode::on_message(const net::Message& msg) {
     on_chunk_req(msg);
   } else if (msg.type == kChunkRsp) {
     on_chunk_rsp(msg);
+  } else if (msg.type == kSwarmBegin) {
+    on_swarm_begin(msg);
+  } else if (msg.type == kSwarmHave) {
+    on_swarm_have(msg);
+  } else if (msg.type == kSwarmReq) {
+    on_swarm_req(msg);
   } else if (msg.type == net::kMetricsRequest) {
     on_scrape_req(msg);
   } else if (msg.type == net::kMetricsResponse) {
@@ -1036,6 +1615,7 @@ void StationNode::on_push(const net::Message& msg) {
   } else if (existing->form == ObjectForm::reference) {
     (void)store_->materialize(m.doc_key, /*ephemeral=*/true);
   }
+  last_delivery_ = fabric_->now();
   // Forward down the tree.
   if (position_ != 0) {
     for (std::uint64_t child : children_of(position_, m_, tree_order().size())) {
@@ -1449,10 +2029,12 @@ obs::Snapshot StationNode::local_snapshot() const {
   };
   const net::RpcStats rpc = rpc_.stats();
   counter("station.blob_serves", stats_.blob_serves);
+  counter("station.chunk_duplicate_rx", stats_.chunk_duplicate_rx);
   counter("station.chunk_duplicates", stats_.chunk_duplicates);
   counter("station.chunk_rejects", stats_.chunk_rejects);
   counter("station.chunk_repair_served", stats_.chunk_repair_served);
   counter("station.chunk_retransmits", stats_.chunk_retransmits);
+  counter("station.chunk_wasted_bytes", stats_.chunk_wasted_bytes);
   counter("station.chunks_received", stats_.chunks_received);
   counter("station.chunks_sent", stats_.chunks_sent);
   counter("station.demotions", stats_.demotions);

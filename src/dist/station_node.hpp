@@ -41,7 +41,10 @@
 #include "net/chunk_wire.hpp"
 #include "net/fabric.hpp"
 #include "net/rpc.hpp"
+#include "net/swarm_wire.hpp"
 #include "obs/scrape.hpp"
+#include "swarm/config.hpp"
+#include "swarm/scheduler.hpp"
 
 namespace wdoc::dist {
 
@@ -85,6 +88,9 @@ struct StationConfig {
   std::uint64_t rpc_seed = 0x77d0c;
   // Chunked transfer knobs (push pipelining, windowing, chunk repair).
   ChunkConfig chunk;
+  // Multi-source swarm distribution (stripe trees + bitmap gossip +
+  // rarest-first pull). Requires chunk.enabled; off by default.
+  swarm::SwarmConfig swarm;
 
   [[nodiscard]] Status validate() const;
 };
@@ -115,6 +121,15 @@ struct NodeStats {
   std::uint64_t chunk_retransmits = 0;   // rpc-retry resends of a pushed chunk
   std::uint64_t chunk_repair_served = 0; // chunks served to pull requests
   std::uint64_t chunk_bytes_sent = 0;    // payload bytes across chunk sends
+  // Chunk receive accounting (swarm mode makes duplicates possible):
+  std::uint64_t chunk_duplicate_rx = 0;  // already-held chunks received again
+  std::uint64_t chunk_wasted_bytes = 0;  // wire bytes those duplicates cost
+  // Swarm path:
+  std::uint64_t swarm_haves_sent = 0;        // gossip bitmaps sent
+  std::uint64_t swarm_reqs_sent = 0;         // rarest-first request messages
+  std::uint64_t swarm_chunks_requested = 0;  // chunk indices across those
+  std::uint64_t swarm_chunks_served = 0;     // chunks served to swarm requests
+  std::uint64_t swarm_relay_suppressed = 0;  // relays skipped: child already has it
 };
 
 class StationNode {
@@ -273,6 +288,12 @@ class StationNode {
   // ones whose children have unacked chunks in flight.
   [[nodiscard]] std::size_t active_transfers() const { return transfers_.size(); }
 
+  // When this station last materialized a pushed lecture (zero before the
+  // first push completes locally). Benches compute a broadcast's makespan
+  // as the max across stations, which — unlike the fabric's quiescence
+  // time — excludes the swarm gossip tail after the last delivery.
+  [[nodiscard]] SimTime last_delivery() const { return last_delivery_; }
+
   // Message type tags (public for tests). Chunk tags live in net/chunk_wire.hpp.
   static constexpr const char* kPush = "dist.push";
   static constexpr const char* kRefAnnounce = "dist.ref";
@@ -286,6 +307,9 @@ class StationNode {
   static constexpr const char* kChunkAck = net::kChunkAck;
   static constexpr const char* kChunkReq = net::kChunkReq;
   static constexpr const char* kChunkRsp = net::kChunkRsp;
+  static constexpr const char* kSwarmBegin = net::kSwarmBegin;
+  static constexpr const char* kSwarmHave = net::kSwarmHave;
+  static constexpr const char* kSwarmReq = net::kSwarmReq;
 
  private:
   void on_message(const net::Message& msg);
@@ -325,6 +349,22 @@ class StationNode {
     StationId child;
     std::deque<std::uint64_t> pending;                 // (blob_ordinal<<32)|index
     std::map<std::uint64_t, std::uint64_t> in_flight;  // chunk key -> rpc req_id
+    // Swarm mode: which stripe tree this cursor feeds (only that tree's
+    // chunks are relayed through it) and the child's 1-based position,
+    // for bitmap-based relay suppression. tree is 0 and child_pos unset
+    // on the single-tree pipeline.
+    std::uint32_t tree = 0;
+    std::uint64_t child_pos = 0;
+  };
+  // One queued swarm-mode chunk send: a stripe relay to a tree child
+  // (serve=false) or a requested chunk to a pulling peer (serve=true).
+  // peer_pos is the receiver's 1-based tree position, for last-moment
+  // bitmap suppression.
+  struct SwarmSend {
+    StationId to;
+    std::uint64_t peer_pos = 0;
+    std::uint64_t key = 0;  // (blob_ordinal<<32)|index
+    bool serve = false;
   };
   struct Transfer {
     DocManifest manifest;
@@ -338,6 +378,44 @@ class StationNode {
     // at every hop below it (together with the head-sample verdict).
     std::uint64_t trace_id = 0;
     bool trace_sampled = false;
+    // Swarm mode (DESIGN.md §4f):
+    bool swarm = false;
+    bool gossip_done = false;     // gossip loop finished; transfer may retire
+    std::uint32_t stripe_trees = 1;
+    // Global chunk index base per blob ordinal (size blobs+1): chunk g of
+    // the transfer is blob upper_bound(g)-1, index g - prefix[ordinal].
+    std::vector<std::uint32_t> chunk_prefix;
+    std::unique_ptr<swarm::SwarmScheduler> sched;
+    // Stripe-ancestor adoption (the swarm analogue of tree failover): the
+    // closest ancestor per stripe tree we currently expect gossip from.
+    // While it stays silent past stall_timeout we walk one level further
+    // up and adopt that ancestor as a gossip peer — a shallow ancestor
+    // sees the chunk frontier seconds before the orphaned subtree does,
+    // and its uplink has the dead child's relay slots to spare.
+    std::vector<std::uint64_t> acting_parent;  // per tree; 0 = walked out
+    std::vector<SimTime> acting_since;         // per tree: last walk time
+    net::Fabric::TimerHandle gossip_timer;
+    std::uint32_t gossip_rounds = 0;
+    std::uint32_t idle_rounds = 0;
+    std::uint64_t last_state_sum = 0;
+    // Any SwarmHave/SwarmReq received since the last gossip tick. An
+    // incomplete neighbor that is still *alive* keeps gossiping even when
+    // its bitmap is frozen (it may be waiting on our serves) — hearing it
+    // must hold this transfer open, or we retire while it still needs us.
+    bool gossip_heard = false;
+    // Paced swarm send queues: sends drain one chunk per uplink
+    // chunk-time, so the fabric queue never grows beyond a chunk or two
+    // and small control traffic (begins, gossip) is never stuck behind
+    // seconds of bulk data. Stripe relays (swarm_queue) take priority over
+    // request serves (swarm_serve_queue) — a relay feeds a whole subtree —
+    // but after serve_stride consecutive relays one serve is interleaved,
+    // so crash recovery drains steadily instead of waiting for the entire
+    // relay backlog (see SwarmConfig::serve_stride).
+    std::deque<SwarmSend> swarm_queue;
+    std::deque<SwarmSend> swarm_serve_queue;
+    std::uint32_t relays_since_serve = 0;
+    net::Fabric::TimerHandle pace_timer;
+    bool pacing = false;
   };
 
   [[nodiscard]] Status start_chunked_push(const DocManifest& manifest);
@@ -353,6 +431,34 @@ class StationNode {
   [[nodiscard]] bool transfer_blobs_complete(const Transfer& t) const;
   void deliver_transfer(std::uint64_t transfer_id);
   void maybe_retire_transfer(std::uint64_t transfer_id);
+
+  // --- swarm mode (multi-source distribution, DESIGN.md §4f) ---------------
+  [[nodiscard]] Status start_swarm_push(const DocManifest& manifest);
+  // Builds the transfer's swarm state: chunk prefix table, scheduler with
+  // stripe parents and gossip neighbors, self bitmap seeded from the blob
+  // store, and the first gossip tick.
+  void init_swarm(std::uint64_t transfer_id, Transfer& t, std::uint32_t trees);
+  // Sends SwarmBegin to every stripe-tree child and creates one cursor per
+  // (child, tree); each cursor relays only its tree's chunks.
+  void open_swarm_children(std::uint64_t transfer_id, Transfer& t);
+  // Re-announce a transfer to a child that has never gossiped back — its
+  // SwarmBegin may have been lost on every stripe tree (begins are
+  // idempotent, so over-sending is safe).
+  void resend_swarm_begin(std::uint64_t transfer_id, const Transfer& t,
+                          const ChildCursor& c);
+  void enqueue_swarm_send(std::uint64_t transfer_id, Transfer& t, SwarmSend entry);
+  void swarm_pace_tick(std::uint64_t transfer_id);
+  [[nodiscard]] SimTime swarm_pace_interval(const Transfer& t) const;
+  void schedule_swarm_tick(std::uint64_t transfer_id);
+  // One gossip round: progress/idle bookkeeping, termination check, then
+  // SwarmHave to every known peer and SwarmReq per scheduler plan.
+  void on_swarm_tick(std::uint64_t transfer_id);
+  void on_swarm_begin(const net::Message& msg);
+  void on_swarm_have(const net::Message& msg);
+  void on_swarm_req(const net::Message& msg);
+  // Maps a sender-claimed position to its station id, validating it against
+  // the broadcast vector and the message's actual origin.
+  [[nodiscard]] bool position_matches(std::uint64_t position, StationId from) const;
 
   // --- chunked pull / repair ------------------------------------------------
   // One blob's pull loop: request up to repair_batch missing chunks per
@@ -427,6 +533,7 @@ class StationNode {
   std::deque<std::pair<std::uint64_t, obs::Snapshot>> recent_merges_;
   static constexpr std::size_t kRecentMerges = 8;
 
+  SimTime last_delivery_{};
   std::uint64_t next_req_ = 0;
 };
 

@@ -54,6 +54,14 @@ class Fabric {
     return true;
   }
 
+  // The station's uplink rate in bits/s, or 0 when the fabric has no link
+  // model. Senders that pace themselves at line rate (the swarm relay)
+  // read this; everything else ignores it.
+  [[nodiscard]] virtual double uplink_bps(StationId station) const {
+    (void)station;
+    return 0.0;
+  }
+
   // Installs a scripted fault plan. Fabrics without a fault model refuse.
   [[nodiscard]] virtual Status inject(const FaultPlan& plan) {
     (void)plan;

@@ -80,6 +80,10 @@ class SimNetwork final : public Fabric {
   [[nodiscard]] Result<StationLink> link_of(StationId id) const;
   [[nodiscard]] Status set_online(StationId id, bool online);
   [[nodiscard]] bool is_online(StationId id) const override;
+  [[nodiscard]] double uplink_bps(StationId id) const override {
+    const Station* s = station(id);
+    return s == nullptr ? 0.0 : s->link.up_bps;
+  }
   // Overrides the end-to-end propagation latency for one station pair
   // (symmetric), replacing the sum of the two per-station latencies — e.g.
   // two stations on the same LAN vs an overseas partner university.

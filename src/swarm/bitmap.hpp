@@ -1,0 +1,81 @@
+// Compact chunk-possession bitmap exchanged by the swarm gossip protocol.
+//
+// One bit per chunk of a transfer, packed into 64-bit words so a 10 MB
+// lecture at 256 KB chunks gossips as a single word. Possession is
+// monotone — bits are only ever set — which is what makes a neighbor's
+// last-gossiped bitmap safe to use for relay suppression: "peer has chunk
+// c" can be stale only in the direction of under-reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wdoc::swarm {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  explicit Bitmap(std::uint32_t bits) { resize(bits); }
+
+  void resize(std::uint32_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+    count_ = 0;
+  }
+
+  [[nodiscard]] bool test(std::uint32_t i) const {
+    if (i >= bits_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  // Returns true when the bit was newly set.
+  bool set(std::uint32_t i) {
+    if (i >= bits_) return false;
+    std::uint64_t& w = words_[i >> 6];
+    const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+    if (w & mask) return false;
+    w |= mask;
+    ++count_;
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t count() const { return count_; }
+  [[nodiscard]] std::uint32_t size() const { return bits_; }
+  [[nodiscard]] bool complete() const { return count_ == bits_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const { return words_; }
+
+  // Adopts a wire-received word vector. Trailing garbage bits beyond
+  // `bits` are masked off, and the popcount is recomputed — hostile input
+  // can therefore never claim chunks past the transfer geometry.
+  void assign_words(std::vector<std::uint64_t> words, std::uint32_t bits) {
+    bits_ = bits;
+    words_ = std::move(words);
+    words_.resize((bits + 63) / 64, 0);
+    if (bits & 63) words_.back() &= (std::uint64_t{1} << (bits & 63)) - 1;
+    count_ = 0;
+    for (std::uint64_t w : words_) {
+      while (w) {
+        w &= w - 1;
+        ++count_;
+      }
+    }
+  }
+
+  // OR-merge: possession only grows.
+  void merge(const Bitmap& other) {
+    for (std::uint32_t i = 0; i < other.bits_ && i < bits_; ++i) {
+      if (other.test(i)) set(i);
+    }
+  }
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::uint32_t bits_ = 0;
+  std::uint32_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace wdoc::swarm

@@ -12,6 +12,7 @@
 #include "docmodel/traversal.hpp"
 #include "http/parser.hpp"
 #include "net/chunk_wire.hpp"
+#include "net/swarm_wire.hpp"
 #include "storage/wal.hpp"
 #include "workload/patterns.hpp"
 
@@ -204,6 +205,94 @@ TEST(DecodeFuzz, ChunkRsp) {
   auto ok = net::ChunkRsp::decode(rsp.encode()).expect("valid");
   EXPECT_EQ(ok.served, rsp.served);
   EXPECT_EQ(ok.requested, rsp.requested);
+}
+
+TEST(DecodeFuzz, SwarmBegin) {
+  net::SwarmBegin begin;
+  begin.transfer_id = 0x5157a2f1;
+  begin.chunk_bytes = 256 * 1024;
+  begin.trees = 2;
+  begin.manifest = Bytes{1, 2, 3, 4, 5, 6, 7, 8};
+  fuzz_decoder(
+      begin.encode(),
+      [](const Bytes& b) { return net::SwarmBegin::decode(b).is_ok(); }, 16);
+  // Implausible geometry is rejected even when well-formed.
+  for (std::uint32_t bad : {0u, net::kMaxWireChunkBytes + 1}) {
+    net::SwarmBegin evil = begin;
+    evil.chunk_bytes = bad;
+    EXPECT_FALSE(net::SwarmBegin::decode(evil.encode()).is_ok()) << bad;
+  }
+  for (std::uint32_t bad : {0u, net::kMaxWireTrees + 1}) {
+    net::SwarmBegin evil = begin;
+    evil.trees = bad;
+    EXPECT_FALSE(net::SwarmBegin::decode(evil.encode()).is_ok()) << bad;
+  }
+  auto ok = net::SwarmBegin::decode(begin.encode()).expect("valid");
+  EXPECT_EQ(ok.transfer_id, begin.transfer_id);
+  EXPECT_EQ(ok.trees, begin.trees);
+  EXPECT_EQ(ok.manifest, begin.manifest);
+}
+
+TEST(DecodeFuzz, SwarmHave) {
+  net::SwarmHave have;
+  have.transfer_id = 42;
+  have.position = 9;
+  have.backlog = 3;
+  have.recovering = 0b10;
+  have.total_chunks = 130;  // 3 words, top word mostly padding
+  have.words = {0xffffffffffffffffull, 0x00000000000000ffull, 0x3ull};
+  have.pending_words = {0ull, 0xff00ull, 0x1ull};
+  fuzz_decoder(
+      have.encode(), [](const Bytes& b) { return net::SwarmHave::decode(b).is_ok(); },
+      17);
+  // The word count is implied by total_chunks — a geometry claim the words
+  // can't cover must fail, and a huge claim must not drive an allocation.
+  for (std::uint32_t bad : {0u, net::kMaxWireChunks + 1, 0xffffffffu}) {
+    net::SwarmHave evil = have;
+    evil.total_chunks = bad;
+    EXPECT_FALSE(net::SwarmHave::decode(evil.encode()).is_ok()) << bad;
+  }
+  {
+    // Have-bitmap present but pending bitmap missing: truncation, not OK.
+    net::SwarmHave cut = have;
+    cut.pending_words.pop_back();
+    EXPECT_FALSE(net::SwarmHave::decode(cut.encode()).is_ok());
+  }
+  auto ok = net::SwarmHave::decode(have.encode()).expect("valid");
+  EXPECT_EQ(ok.position, have.position);
+  EXPECT_EQ(ok.backlog, have.backlog);
+  EXPECT_EQ(ok.recovering, have.recovering);
+  EXPECT_EQ(ok.words, have.words);
+  EXPECT_EQ(ok.pending_words, have.pending_words);
+}
+
+TEST(DecodeFuzz, SwarmReq) {
+  net::SwarmReq req;
+  req.transfer_id = 43;
+  req.position = 21;
+  req.backlog = 1;
+  req.indices = {0, 7, 39};
+  req.total_chunks = 40;
+  req.have_words = {0x00ff00ff00ff00ffull};
+  req.pending_words = {0x0000000000000081ull};
+  fuzz_decoder(
+      req.encode(), [](const Bytes& b) { return net::SwarmReq::decode(b).is_ok(); },
+      18);
+  // An index outside the declared geometry is corruption.
+  net::SwarmReq oob = req;
+  oob.indices.push_back(40);
+  EXPECT_FALSE(net::SwarmReq::decode(oob.encode()).is_ok());
+  // A hostile index count with no payload must not drive a reservation.
+  Writer w;
+  w.u64(1);
+  w.u64(2);
+  w.u32(0);
+  w.u32(0xffffffffu);  // claims 4 billion indices, provides none
+  EXPECT_FALSE(net::SwarmReq::decode(w.take()).is_ok());
+  auto ok = net::SwarmReq::decode(req.encode()).expect("valid");
+  EXPECT_EQ(ok.indices, req.indices);
+  EXPECT_EQ(ok.have_words, req.have_words);
+  EXPECT_EQ(ok.pending_words, req.pending_words);
 }
 
 TEST(DecodeFuzz, WalRecord) {

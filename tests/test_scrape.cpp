@@ -38,7 +38,7 @@ constexpr const char* kCounters[] = {
 };
 
 // Samples per station in local_snapshot(): the 22 counters above + 2 gauges.
-constexpr std::size_t kSamplesPerStation = 24;
+constexpr std::size_t kSamplesPerStation = 26;
 
 std::uint64_t stat_by_name(const StationNode& node, std::string_view name) {
   const NodeStats& st = node.stats();
